@@ -1,0 +1,62 @@
+// Command benchgen writes the generated benchmark circuits (Table III of
+// the paper) as BLIF netlists.
+//
+// Examples:
+//
+//	benchgen -name rca32            # print rca32 to stdout
+//	benchgen -all -dir benchmarks/  # write every benchmark to a directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	var (
+		name = flag.String("name", "", "benchmark to emit (stdout)")
+		all  = flag.Bool("all", false, "emit every benchmark")
+		dir  = flag.String("dir", ".", "output directory for -all")
+		stat = flag.Bool("stats", false, "print size statistics instead of BLIF")
+	)
+	flag.Parse()
+
+	switch {
+	case *name != "":
+		g := alsrac.Benchmark(*name)
+		if g == nil {
+			fail("unknown benchmark %q", *name)
+		}
+		if *stat {
+			fmt.Println(g.String())
+			return
+		}
+		if err := alsrac.WriteBLIF(os.Stdout, g); err != nil {
+			fail("%v", err)
+		}
+	case *all:
+		for _, n := range alsrac.Benchmarks() {
+			g := alsrac.Benchmark(n)
+			if *stat {
+				fmt.Println(g.String())
+				continue
+			}
+			path := filepath.Join(*dir, n+".blif")
+			if err := alsrac.WriteBLIFFile(path, g); err != nil {
+				fail("writing %s: %v", path, err)
+			}
+			fmt.Printf("wrote %s (%d ANDs)\n", path, g.NumAnds())
+		}
+	default:
+		fail("use -name <bench> or -all (see alsrac -list for names)")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,43 @@
+// Command exptables regenerates the tables of the paper's evaluation
+// section on the generated benchmark suites: Table III (benchmark
+// inventory), Tables IV/V (ALSRAC vs Su's method, ASIC, ER/NMED) and
+// Tables VI/VII (ALSRAC vs Liu's method, FPGA 6-LUT, ER/MRED).
+//
+// Examples:
+//
+//	exptables -table 3
+//	exptables -table 5 -quick
+//	exptables -table 4            # full sweep (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		table = flag.Int("table", 0, "table number to regenerate (3-7)")
+		quick = flag.Bool("quick", false, "reduced sweep for fast runs")
+	)
+	flag.Parse()
+
+	switch *table {
+	case 3:
+		fmt.Print(exp.TableIII())
+	case 4, 5, 6, 7:
+		cfg := exp.TableConfig(*table, *quick)
+		rows := exp.CompareSuite(exp.Suite(*table), cfg, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		title := fmt.Sprintf("Table %d: ALSRAC vs %s method (%s <= %v)",
+			*table, exp.BaselineName(*table), cfg.Metric, cfg.Thresholds)
+		fmt.Print(exp.Render(title, "ALSRAC", exp.BaselineName(*table), rows))
+	default:
+		fmt.Fprintln(os.Stderr, "exptables: use -table 3..7")
+		os.Exit(1)
+	}
+}

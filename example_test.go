@@ -1,0 +1,59 @@
+package alsrac_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+)
+
+// Building a circuit programmatically with the Circuit API.
+func ExampleNewCircuit() {
+	g := alsrac.NewCircuit()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	cin := g.AddPI("cin")
+	axb := g.Xor(a, b)
+	g.AddPO(g.Xor(axb, cin), "sum")
+	g.AddPO(g.Or(g.And(a, b), g.And(axb, cin)), "cout")
+	fmt.Println(g.NumPIs(), g.NumPOs(), g.NumAnds() > 0)
+	// Output: 3 2 true
+}
+
+// Parsing a BLIF netlist into a circuit.
+func ExampleReadBLIF() {
+	src := `
+.model mux
+.inputs s a b
+.outputs y
+.names s a b y
+11- 1
+0-1 1
+.end
+`
+	g, err := alsrac.ReadBLIF(strings.NewReader(src))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(g.Name, g.NumPIs(), g.NumPOs())
+	// Output: mux 3 1
+}
+
+// Measuring the error of an approximate circuit against its reference.
+func ExampleMeasureError() {
+	exact := alsrac.Benchmark("rca32")
+	// An exact optimization has zero error by definition.
+	optimized := alsrac.Optimize(exact)
+	fmt.Println(alsrac.MeasureError(exact, optimized, alsrac.ER, 4096, 1))
+	// Output: 0
+}
+
+// Running the ALSRAC flow with the paper's default parameters.
+func ExampleApproximate() {
+	g := alsrac.Benchmark("rca32")
+	opts := alsrac.DefaultOptions(alsrac.NMED, 0.001)
+	opts.EvalPatterns = 2048
+	res := alsrac.Approximate(g, opts)
+	fmt.Println(res.Graph.NumAnds() < g.NumAnds(), res.FinalError <= opts.Threshold)
+	// Output: true true
+}

@@ -1,0 +1,63 @@
+// Custom input distribution: the paper notes ALSRAC "is applicable to any
+// PI distribution". This example approximates an 8x8 multiplier whose
+// operands are usually SMALL (high bits rarely set) — a common situation in
+// image kernels — and shows that synthesizing against the true distribution
+// yields a smaller circuit than assuming uniform inputs, at the same
+// application-level error.
+//
+// Run with:
+//
+//	go run ./examples/custom_distribution
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	g := alsrac.Optimize(alsrac.Benchmark("mtp8"))
+	base := alsrac.MapASIC(g)
+	const et = 0.00005 // NMED budget under the circuit's OWN input distribution
+
+	// Operand bits get rarer toward the MSB: P(bit i) = 0.5 · 0.7^i.
+	probs := make([]float64, g.NumPIs())
+	for i := range probs {
+		p := 0.5
+		for k := 0; k < i%8; k++ {
+			p *= 0.7
+		}
+		probs[i] = p
+	}
+	biased := func(nPIs, n int, seed int64) *alsrac.Patterns {
+		return alsrac.BiasedPatterns(probs, n, seed)
+	}
+
+	fmt.Printf("mtp8 with small-operand inputs, NMED <= %.4f%% under the real distribution\n\n", 100*et)
+
+	// Flow 1: assume uniform inputs (the mismatch case).
+	uni := alsrac.DefaultOptions(alsrac.NMED, et)
+	uni.EvalPatterns = 8192
+	resU := alsrac.Approximate(g, uni)
+
+	// Flow 2: synthesize against the true biased distribution.
+	bia := alsrac.DefaultOptions(alsrac.NMED, et)
+	bia.EvalPatterns = 8192
+	bia.Patterns = biased
+	resB := alsrac.Approximate(g, bia)
+
+	// Judge both under the TRUE (biased) distribution.
+	judge := func(c *alsrac.Circuit) float64 {
+		pats := alsrac.BiasedPatterns(probs, 1<<15, 999)
+		return alsrac.MeasureErrorOnPatterns(g, c, alsrac.NMED, pats)
+	}
+	mU := alsrac.MapASIC(resU.Graph)
+	mB := alsrac.MapASIC(resB.Graph)
+	fmt.Printf("%-22s %8s %8s %14s\n", "synthesized against", "ANDs", "area%", "NMED(real dist)")
+	fmt.Printf("%-22s %8d %7.1f%% %14.3g\n", "uniform (mismatch)",
+		resU.Graph.NumAnds(), 100*mU.Area/base.Area, judge(resU.Graph))
+	fmt.Printf("%-22s %8d %7.1f%% %14.3g\n", "biased (matched)",
+		resB.Graph.NumAnds(), 100*mB.Area/base.Area, judge(resB.Graph))
+	fmt.Println("\nMatching the synthesis distribution to the workload buys substantially more area\nat a comparable application-level error.")
+}

@@ -1,0 +1,68 @@
+// File pipeline: the end-to-end tool story — generate a benchmark netlist,
+// write it to BLIF, read it back, approximate under a delay constraint,
+// and export the result as BLIF, AIGER and structural Verilog for
+// downstream tools.
+//
+// Run with:
+//
+//	go run ./examples/file_pipeline
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "alsrac-pipeline")
+	check(err)
+	defer os.RemoveAll(dir)
+
+	// 1. Generate and save an exact design.
+	exact := alsrac.Optimize(alsrac.Benchmark("wal8"))
+	exactPath := filepath.Join(dir, "wal8.blif")
+	check(alsrac.WriteBLIFFile(exactPath, exact))
+	fmt.Printf("wrote exact design      %s (%d ANDs, depth %d)\n",
+		exactPath, exact.NumAnds(), exact.Depth())
+
+	// 2. Read it back, as a downstream user would.
+	g, err := alsrac.ReadCircuitFile(exactPath)
+	check(err)
+
+	// 3. Approximate under MRED with a hard depth cap at the original.
+	opts := alsrac.DefaultOptions(alsrac.MRED, 0.002)
+	opts.EvalPatterns = 4096
+	opts.MaxDepthRatio = 1.0
+	res := alsrac.Approximate(g, opts)
+	fmt.Printf("approximated            %d -> %d ANDs, depth %d -> %d, MRED %.4g\n",
+		g.NumAnds(), res.Graph.NumAnds(), g.Depth(), res.Graph.Depth(), res.FinalError)
+
+	// 4. Export in every supported format.
+	for _, name := range []string{"wal8_approx.blif", "wal8_approx.aag", "wal8_approx.aig", "wal8_approx.v"} {
+		path := filepath.Join(dir, name)
+		check(alsrac.WriteCircuitFile(path, res.Graph))
+		info, _ := os.Stat(path)
+		fmt.Printf("exported                %s (%d bytes)\n", path, info.Size())
+	}
+
+	// 5. Round-trip check: the AIGER copy must match the BLIF copy exactly.
+	a, err := alsrac.ReadCircuitFile(filepath.Join(dir, "wal8_approx.aag"))
+	check(err)
+	b, err := alsrac.ReadCircuitFile(filepath.Join(dir, "wal8_approx.blif"))
+	check(err)
+	if er := alsrac.MeasureError(a, b, alsrac.ER, 4096, 7); er != 0 {
+		fmt.Println("ERROR: format round trip mismatch!")
+		os.Exit(1)
+	}
+	fmt.Println("format round trip       OK (AIGER and BLIF copies are equivalent)")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pipeline:", err)
+		os.Exit(1)
+	}
+}

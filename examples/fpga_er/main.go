@@ -1,0 +1,45 @@
+// FPGA flow: reproduce one row of the paper's Table VI — approximate an
+// EPFL-style control circuit under a 1% error-rate budget and map it into
+// 6-input LUTs, comparing ALSRAC with the stochastic (Liu-style MCMC)
+// baseline.
+//
+// Run with:
+//
+//	go run ./examples/fpga_er
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	for _, name := range []string{"priority", "int2float"} {
+		g := alsrac.Optimize(alsrac.Benchmark(name))
+		base := alsrac.MapLUT(g, 6)
+		const et = 0.01
+
+		fmt.Printf("%s: %d 6-LUTs, depth %d; budget ER <= 1%%\n", name, base.LUTs, base.Depth)
+
+		opts := alsrac.DefaultOptions(alsrac.ER, et)
+		opts.EvalPatterns = 4096
+
+		start := time.Now()
+		res := alsrac.Approximate(g, opts)
+		m := alsrac.MapLUT(res.Graph, 6)
+		fmt.Printf("  ALSRAC: %3d LUTs (%.1f%%), depth %d (%.1f%%), ER %.4f, %v\n",
+			m.LUTs, 100*float64(m.LUTs)/float64(base.LUTs),
+			m.Depth, 100*float64(m.Depth)/float64(base.Depth),
+			res.FinalError, time.Since(start).Round(time.Millisecond))
+
+		start = time.Now()
+		liu := alsrac.ApproximateMCMC(g, alsrac.ER, et, 1500, 1)
+		lm := alsrac.MapLUT(liu.Graph, 6)
+		fmt.Printf("  Liu's : %3d LUTs (%.1f%%), depth %d (%.1f%%), ER %.4f, %v\n\n",
+			lm.LUTs, 100*float64(lm.LUTs)/float64(base.LUTs),
+			lm.Depth, 100*float64(lm.Depth)/float64(base.Depth),
+			liu.FinalError, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: approximate a 32-bit ripple-carry adder under an NMED
+// constraint and watch area shrink as the error budget grows — the
+// motivating use case from the paper's introduction (error-resilient
+// arithmetic for energy efficiency).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	g := alsrac.Benchmark("rca32")
+	g = alsrac.Optimize(g)
+	base := alsrac.MapASIC(g)
+	fmt.Printf("exact rca32: %d ANDs, cell area %.0f, delay %.1f\n\n",
+		g.NumAnds(), base.Area, base.Delay)
+
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n",
+		"NMED budget", "ANDs", "area", "area%", "delay%", "time")
+	for _, et := range []float64{0.00001, 0.0001, 0.001, 0.01} {
+		opts := alsrac.DefaultOptions(alsrac.NMED, et)
+		opts.EvalPatterns = 4096
+
+		start := time.Now()
+		res := alsrac.Approximate(g, opts)
+		m := alsrac.MapASIC(res.Graph)
+
+		fmt.Printf("%-12.5f %10d %10.0f %9.1f%% %9.1f%% %10v\n",
+			et, res.Graph.NumAnds(), m.Area,
+			100*m.Area/base.Area, 100*m.Delay/base.Delay,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	fmt.Println("\nEvery row satisfies its error budget; looser budgets buy more area.")
+}

@@ -1,0 +1,258 @@
+package aig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLitEncoding(t *testing.T) {
+	l := MakeLit(7, true)
+	if l.Node() != 7 || !l.IsCompl() {
+		t.Fatalf("MakeLit(7,true) = %v", l)
+	}
+	if l.Not().IsCompl() {
+		t.Fatalf("Not did not clear complement")
+	}
+	if l.Regular() != MakeLit(7, false) {
+		t.Fatalf("Regular failed")
+	}
+	if l.NotCond(false) != l || l.NotCond(true) != l.Not() {
+		t.Fatalf("NotCond failed")
+	}
+	if LitFalse.Not() != LitTrue {
+		t.Fatalf("constants are not complements")
+	}
+}
+
+func TestAndTrivialCases(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+
+	cases := []struct {
+		name string
+		got  Lit
+		want Lit
+	}{
+		{"x*0", g.And(a, LitFalse), LitFalse},
+		{"0*x", g.And(LitFalse, a), LitFalse},
+		{"x*1", g.And(a, LitTrue), a},
+		{"1*x", g.And(LitTrue, a), a},
+		{"x*x", g.And(a, a), a},
+		{"x*!x", g.And(a, a.Not()), LitFalse},
+		{"!x*!x", g.And(a.Not(), a.Not()), a.Not()},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+	if g.NumAnds() != 0 {
+		t.Fatalf("trivial cases allocated %d AND nodes", g.NumAnds())
+	}
+	_ = b
+}
+
+func TestStructuralHashing(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	x := g.And(a, b)
+	y := g.And(b, a)
+	if x != y {
+		t.Fatalf("And(a,b) != And(b,a): %v vs %v", x, y)
+	}
+	if g.NumAnds() != 1 {
+		t.Fatalf("expected 1 AND node, got %d", g.NumAnds())
+	}
+	z := g.And(a.Not(), b)
+	if z == x {
+		t.Fatalf("different functions hashed to the same node")
+	}
+	if g.NumAnds() != 2 {
+		t.Fatalf("expected 2 AND nodes, got %d", g.NumAnds())
+	}
+}
+
+func TestDerivedGates(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	s := g.AddPI("s")
+	or := g.Or(a, b)
+	xor := g.Xor(a, b)
+	mux := g.Mux(s, a, b)
+	g.AddPO(or, "or")
+	g.AddPO(xor, "xor")
+	g.AddPO(mux, "mux")
+
+	// Evaluate by brute force over the 8 input combinations.
+	eval := func(root Lit, va, vb, vs bool) bool {
+		vals := make([]bool, g.NumNodes())
+		vals[a.Node()] = va
+		vals[b.Node()] = vb
+		vals[s.Node()] = vs
+		for n := Node(1); int(n) < g.NumNodes(); n++ {
+			if g.Kind(n) != KindAnd {
+				continue
+			}
+			f0, f1 := g.Fanin0(n), g.Fanin1(n)
+			v0 := vals[f0.Node()] != f0.IsCompl()
+			v1 := vals[f1.Node()] != f1.IsCompl()
+			vals[n] = v0 && v1
+		}
+		return vals[root.Node()] != root.IsCompl()
+	}
+	for i := 0; i < 8; i++ {
+		va, vb, vs := i&1 != 0, i&2 != 0, i&4 != 0
+		if got, want := eval(or, va, vb, vs), va || vb; got != want {
+			t.Errorf("or(%v,%v) = %v", va, vb, got)
+		}
+		if got, want := eval(xor, va, vb, vs), va != vb; got != want {
+			t.Errorf("xor(%v,%v) = %v", va, vb, got)
+		}
+		want := vb
+		if vs {
+			want = va
+		}
+		if got := eval(mux, va, vb, vs); got != want {
+			t.Errorf("mux(%v;%v,%v) = %v", vs, va, vb, got)
+		}
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	ab := g.And(a, b)
+	abc := g.And(ab, c)
+	g.AddPO(abc, "f")
+	lev := g.Levels()
+	if lev[a.Node()] != 0 || lev[ab.Node()] != 1 || lev[abc.Node()] != 2 {
+		t.Fatalf("levels wrong: %v", lev)
+	}
+	if g.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", g.Depth())
+	}
+}
+
+func TestAndNBalanced(t *testing.T) {
+	g := New()
+	xs := g.AddPIs(16, "x")
+	f := g.AndN(xs...)
+	g.AddPO(f, "f")
+	if d := g.Depth(); d != 4 {
+		t.Fatalf("AndN(16) depth = %d, want 4", d)
+	}
+	if g.AndN() != LitTrue {
+		t.Fatalf("empty AndN should be true")
+	}
+	if g.OrN() != LitFalse {
+		t.Fatalf("empty OrN should be false")
+	}
+	if g.AndN(xs[3]) != xs[3] {
+		t.Fatalf("single-element AndN should be identity")
+	}
+}
+
+func TestRefCounts(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	ab := g.And(a, b)
+	f := g.And(ab, a.Not()) // note: a used twice
+	g.AddPO(f, "f")
+	g.AddPO(ab, "g")
+	refs := g.RefCounts()
+	if refs[a.Node()] != 2 {
+		t.Errorf("refs[a] = %d, want 2", refs[a.Node()])
+	}
+	if refs[ab.Node()] != 2 { // one AND fanout + one PO
+		t.Errorf("refs[ab] = %d, want 2", refs[ab.Node()])
+	}
+	if refs[f.Node()] != 1 {
+		t.Errorf("refs[f] = %d, want 1", refs[f.Node()])
+	}
+}
+
+func TestCheckValid(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.Xor(a, b), "f")
+	if err := g.Check(); err != nil {
+		t.Fatalf("Check on valid graph: %v", err)
+	}
+}
+
+// TestStrashIdempotent checks, with random literal pairs, that And is a
+// pure function of its arguments: calling it twice returns the same literal
+// and never grows the graph the second time.
+func TestStrashIdempotent(t *testing.T) {
+	g := New()
+	lits := g.AddPIs(8, "x")
+	// Build some structure to draw literals from.
+	for i := 0; i < 50; i++ {
+		a := lits[(i*7)%len(lits)]
+		b := lits[(i*13+5)%len(lits)].Not()
+		lits = append(lits, g.And(a, b))
+	}
+	f := func(i, j uint8, ci, cj bool) bool {
+		a := lits[int(i)%len(lits)].NotCond(ci)
+		b := lits[int(j)%len(lits)].NotCond(cj)
+		x := g.And(a, b)
+		before := g.NumNodes()
+		y := g.And(a, b)
+		return x == y && g.NumNodes() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPINames(t *testing.T) {
+	g := New()
+	g.AddPI("alpha")
+	g.AddPI("beta")
+	po := g.AddPO(LitTrue, "out")
+	if g.PIName(0) != "alpha" || g.PIName(1) != "beta" {
+		t.Fatalf("PI names wrong")
+	}
+	if g.POName(po) != "out" {
+		t.Fatalf("PO name wrong")
+	}
+	if g.PIIndex(g.PI(1)) != 1 {
+		t.Fatalf("PIIndex wrong")
+	}
+	if g.PIIndex(0) != -1 {
+		t.Fatalf("PIIndex of const should be -1")
+	}
+}
+
+func TestStatsAndString(t *testing.T) {
+	g := New()
+	g.Name = "demo"
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.And(a, b), "f")
+	s := g.Stats()
+	if s.PIs != 2 || s.POs != 1 || s.Ands != 1 || s.Depth != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	str := g.String()
+	if str != "demo: pi=2 po=1 and=1 depth=1" {
+		t.Fatalf("String = %q", str)
+	}
+	g2 := New()
+	if g2.String() != "aig: pi=0 po=0 and=0 depth=0" {
+		t.Fatalf("unnamed String = %q", g2.String())
+	}
+}
+
+func TestLitString(t *testing.T) {
+	if MakeLit(5, false).String() != "n5" || MakeLit(5, true).String() != "!n5" {
+		t.Fatalf("Lit.String wrong")
+	}
+}

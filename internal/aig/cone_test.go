@@ -1,0 +1,262 @@
+package aig
+
+import "testing"
+
+// buildDiamond returns a graph with a reconvergent diamond:
+//
+//	f = (a&b) & (a&c)   with shared input a.
+func buildDiamond(t *testing.T) (*Graph, Lit, Lit, Lit, Lit, Lit, Lit) {
+	t.Helper()
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	ab := g.And(a, b)
+	ac := g.And(a, c)
+	f := g.And(ab, ac)
+	g.AddPO(f, "f")
+	return g, a, b, c, ab, ac, f
+}
+
+func TestTFICone(t *testing.T) {
+	g, a, b, c, ab, ac, f := buildDiamond(t)
+	cone := g.TFICone(f.Node())
+	want := map[Node]bool{
+		a.Node(): true, b.Node(): true, c.Node(): true,
+		ab.Node(): true, ac.Node(): true, f.Node(): true,
+	}
+	if len(cone) != len(want) {
+		t.Fatalf("cone size = %d, want %d (%v)", len(cone), len(want), cone)
+	}
+	for _, n := range cone {
+		if !want[n] {
+			t.Errorf("unexpected node %d in TFI cone", n)
+		}
+	}
+	// Cone of a single AND excludes unrelated nodes.
+	coneAB := g.TFICone(ab.Node())
+	for _, n := range coneAB {
+		if n == c.Node() || n == ac.Node() || n == f.Node() {
+			t.Errorf("TFI(ab) contains unrelated node %d", n)
+		}
+	}
+}
+
+func TestTFIMaskMatchesCone(t *testing.T) {
+	g, _, _, _, _, ac, f := buildDiamond(t)
+	mask := make([]bool, g.NumNodes())
+	g.TFIMask(f.Node(), mask)
+	cone := g.TFICone(f.Node())
+	n := 0
+	for id, in := range mask {
+		if in {
+			n++
+			found := false
+			for _, c := range cone {
+				if c == Node(id) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("mask marks %d but cone misses it", id)
+			}
+		}
+	}
+	if n != len(cone) {
+		t.Fatalf("mask count %d != cone size %d", n, len(cone))
+	}
+	// Reuse the mask for a smaller cone; stale marks must be cleared.
+	g.TFIMask(ac.Node(), mask)
+	if mask[f.Node()] {
+		t.Fatalf("mask not reset between calls")
+	}
+}
+
+func TestTFOCone(t *testing.T) {
+	g, a, _, _, ab, ac, f := buildDiamond(t)
+	tfo := g.TFOCone(a.Node())
+	want := map[Node]bool{a.Node(): true, ab.Node(): true, ac.Node(): true, f.Node(): true}
+	if len(tfo) != len(want) {
+		t.Fatalf("TFO size = %d want %d", len(tfo), len(want))
+	}
+	for _, n := range tfo {
+		if !want[n] {
+			t.Errorf("unexpected node %d in TFO", n)
+		}
+	}
+	tfoAB := g.TFOCone(ab.Node())
+	if len(tfoAB) != 2 { // ab and f
+		t.Fatalf("TFO(ab) = %v", tfoAB)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	g, _, _, _, ab, _, f := buildDiamond(t)
+	if s := g.Support(f); len(s) != 3 {
+		t.Fatalf("Support(f) = %v, want all 3 PIs", s)
+	}
+	if s := g.Support(ab); len(s) != 2 || s[0] != 0 || s[1] != 1 {
+		t.Fatalf("Support(ab) = %v, want [0 1]", s)
+	}
+}
+
+func TestMFFCSize(t *testing.T) {
+	g, _, _, _, ab, ac, f := buildDiamond(t)
+	refs := g.RefCounts()
+	// f's MFFC contains all three ANDs: ab and ac are only used by f.
+	if got := g.MFFCSize(f.Node(), refs); got != 3 {
+		t.Fatalf("MFFC(f) = %d, want 3", got)
+	}
+	// refs must be restored.
+	refs2 := g.RefCounts()
+	for i := range refs {
+		if refs[i] != refs2[i] {
+			t.Fatalf("MFFCSize corrupted refs at node %d", i)
+		}
+	}
+	// Now give ab a second fanout: its MFFC no longer belongs to f.
+	g.AddPO(MakeLit(ab.Node(), false), "g")
+	refs = g.RefCounts()
+	if got := g.MFFCSize(f.Node(), refs); got != 2 { // f and ac only
+		t.Fatalf("MFFC(f) with shared ab = %d, want 2", got)
+	}
+	if got := g.MFFCSize(ac.Node(), refs); got != 1 {
+		t.Fatalf("MFFC(ac) = %d, want 1", got)
+	}
+}
+
+func TestCopyWithSweepsDangling(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	f := g.And(a, b)
+	g.And(a, b.Not()) // dangling
+	g.AddPO(f, "f")
+	ng := g.Sweep()
+	if ng.NumAnds() != 1 {
+		t.Fatalf("sweep kept dangling node: %d ANDs", ng.NumAnds())
+	}
+	if ng.NumPIs() != 2 || ng.PIName(1) != "b" {
+		t.Fatalf("sweep lost PIs or names")
+	}
+	if err := ng.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyWithSubstitution(t *testing.T) {
+	// f = (a&b) & c; substitute node (a&b) by literal a: f becomes a&c.
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	c := g.AddPI("c")
+	ab := g.And(a, b)
+	f := g.And(ab, c)
+	g.AddPO(f, "f")
+	ng := g.CopyWith(map[Node]Lit{ab.Node(): a})
+	if ng.NumAnds() != 1 {
+		t.Fatalf("substituted graph has %d ANDs, want 1", ng.NumAnds())
+	}
+	// Verify function: f' = a & c.
+	po := ng.PO(0)
+	n := po.Node()
+	if ng.Kind(n) != KindAnd {
+		t.Fatalf("PO is not an AND")
+	}
+	// Both fanins must be plain PI literals a and c.
+	f0, f1 := ng.Fanin0(n), ng.Fanin1(n)
+	pins := map[Node]bool{f0.Node(): true, f1.Node(): true}
+	if !pins[ng.PI(0)] || !pins[ng.PI(2)] || f0.IsCompl() || f1.IsCompl() || po.IsCompl() {
+		t.Fatalf("substitution produced wrong structure")
+	}
+	_ = b
+}
+
+func TestCopyWithSubstituteByConstant(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	ab := g.And(a, b)
+	g.AddPO(ab, "f")
+	ng := g.CopyWith(map[Node]Lit{ab.Node(): LitTrue})
+	if ng.NumAnds() != 0 {
+		t.Fatalf("constant substitution left %d ANDs", ng.NumAnds())
+	}
+	if ng.PO(0) != LitTrue {
+		t.Fatalf("PO = %v, want const 1", ng.PO(0))
+	}
+}
+
+func TestCopyWithComplementedPO(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.And(a, b).Not(), "nand")
+	ng := g.Sweep()
+	if !ng.PO(0).IsCompl() {
+		t.Fatalf("PO complement lost in copy")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.And(a, b), "f")
+	c := g.Clone()
+	c.AddPI("c")
+	c.And(a, b.Not())
+	if g.NumPIs() != 2 || g.NumAnds() != 1 {
+		t.Fatalf("mutating clone affected original")
+	}
+	if c.NumPIs() != 3 || c.NumAnds() != 2 {
+		t.Fatalf("clone did not accept mutations")
+	}
+}
+
+func TestCopyWithSelfComplement(t *testing.T) {
+	// Substituting a node by its own complement must terminate and flip
+	// the node's function in place.
+	g := New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	ab := g.And(a, b)
+	g.AddPO(ab, "f")
+	ng := g.CopyWith(map[Node]Lit{ab.Node(): ab.Not()})
+	if !ng.PO(0).IsCompl() {
+		t.Fatalf("PO should be the complemented AND")
+	}
+	if ng.NumAnds() != 1 {
+		t.Fatalf("ANDs = %d, want 1", ng.NumAnds())
+	}
+}
+
+// TestCopyWithIdentityProperty: substituting every AND node by itself must
+// reproduce a functionally identical graph (checked structurally thanks to
+// canonical strashing of the copy).
+func TestCopyWithIdentityProperty(t *testing.T) {
+	g := New()
+	xs := g.AddPIs(4, "x")
+	f1 := g.Or(g.And(xs[0], xs[1]), g.Xor(xs[2], xs[3]))
+	f2 := g.Mux(xs[0], f1, xs[2])
+	g.AddPO(f1, "f1")
+	g.AddPO(f2.Not(), "f2")
+
+	sub := map[Node]Lit{}
+	for n := Node(1); int(n) < g.NumNodes(); n++ {
+		if g.IsAnd(n) {
+			sub[n] = MakeLit(n, false)
+		}
+	}
+	ng := g.CopyWith(sub)
+	plain := g.Sweep()
+	if ng.NumAnds() != plain.NumAnds() || ng.NumPOs() != plain.NumPOs() {
+		t.Fatalf("identity substitution changed the graph: %d vs %d ANDs",
+			ng.NumAnds(), plain.NumAnds())
+	}
+	for i := 0; i < ng.NumPOs(); i++ {
+		if ng.PO(i) != plain.PO(i) {
+			t.Fatalf("PO %d differs after identity substitution", i)
+		}
+	}
+}

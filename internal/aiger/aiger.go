@@ -1,0 +1,353 @@
+// Package aiger reads and writes combinational AIGER files, the standard
+// interchange format for And-Inverter Graphs used by ABC and the hardware
+// model-checking community. Both the ASCII ("aag") and the compact binary
+// ("aig") encodings are supported, including the symbol table. Latches are
+// rejected: this repository is combinational-only, like the paper.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/aig"
+)
+
+// Write emits the graph in the requested format ("aag" = ASCII, "aig" =
+// binary). AND nodes are renumbered into the contiguous variable range the
+// format requires; node order is preserved, which keeps the file
+// topologically sorted as the binary format demands.
+func Write(w io.Writer, g *aig.Graph, format string) error {
+	switch format {
+	case "aag":
+		return writeASCII(w, g)
+	case "aig":
+		return writeBinary(w, g)
+	}
+	return fmt.Errorf("aiger: unknown format %q (want aag or aig)", format)
+}
+
+// renumber maps graph nodes onto AIGER variables: constant = 0, inputs
+// 1..I, AND nodes I+1..M in topological order.
+func renumber(g *aig.Graph) (vars []uint32, andNodes []aig.Node) {
+	vars = make([]uint32, g.NumNodes())
+	next := uint32(1)
+	for i := 0; i < g.NumPIs(); i++ {
+		vars[g.PI(i)] = next
+		next++
+	}
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if g.IsAnd(n) {
+			vars[n] = next
+			next++
+			andNodes = append(andNodes, n)
+		}
+	}
+	return vars, andNodes
+}
+
+func aigerLit(vars []uint32, l aig.Lit) uint32 {
+	v := vars[l.Node()] << 1
+	if l.IsCompl() {
+		v |= 1
+	}
+	return v
+}
+
+func writeASCII(w io.Writer, g *aig.Graph) error {
+	bw := bufio.NewWriter(w)
+	vars, ands := renumber(g)
+	m := g.NumPIs() + len(ands)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", m, g.NumPIs(), g.NumPOs(), len(ands))
+	for i := 0; i < g.NumPIs(); i++ {
+		fmt.Fprintf(bw, "%d\n", vars[g.PI(i)]<<1)
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(vars, g.PO(i)))
+	}
+	for _, n := range ands {
+		lhs := vars[n] << 1
+		r0 := aigerLit(vars, g.Fanin0(n))
+		r1 := aigerLit(vars, g.Fanin1(n))
+		if r0 < r1 {
+			r0, r1 = r1, r0
+		}
+		fmt.Fprintf(bw, "%d %d %d\n", lhs, r0, r1)
+	}
+	writeSymbols(bw, g)
+	return bw.Flush()
+}
+
+func writeBinary(w io.Writer, g *aig.Graph) error {
+	bw := bufio.NewWriter(w)
+	vars, ands := renumber(g)
+	m := g.NumPIs() + len(ands)
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", m, g.NumPIs(), g.NumPOs(), len(ands))
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "%d\n", aigerLit(vars, g.PO(i)))
+	}
+	for _, n := range ands {
+		lhs := vars[n] << 1
+		r0 := aigerLit(vars, g.Fanin0(n))
+		r1 := aigerLit(vars, g.Fanin1(n))
+		if r0 < r1 {
+			r0, r1 = r1, r0
+		}
+		// The binary format stores the deltas lhs-r0 and r0-r1 as LEB128.
+		writeUvarint(bw, lhs-r0)
+		writeUvarint(bw, r0-r1)
+	}
+	writeSymbols(bw, g)
+	return bw.Flush()
+}
+
+func writeSymbols(w io.Writer, g *aig.Graph) {
+	for i := 0; i < g.NumPIs(); i++ {
+		if name := g.PIName(i); name != "" {
+			fmt.Fprintf(w, "i%d %s\n", i, name)
+		}
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		if name := g.POName(i); name != "" {
+			fmt.Fprintf(w, "o%d %s\n", i, name)
+		}
+	}
+	if g.Name != "" {
+		fmt.Fprintf(w, "c\n%s\n", g.Name)
+	}
+}
+
+func writeUvarint(w *bufio.Writer, x uint32) {
+	for x >= 0x80 {
+		w.WriteByte(byte(x) | 0x80)
+		x >>= 7
+	}
+	w.WriteByte(byte(x))
+}
+
+// Read parses an AIGER file in either format, auto-detected from the magic.
+func Read(r io.Reader) (*aig.Graph, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: reading header: %v", err)
+	}
+	fields := strings.Fields(header)
+	if len(fields) < 6 {
+		return nil, fmt.Errorf("aiger: short header %q", strings.TrimSpace(header))
+	}
+	nums := make([]int, 5)
+	for i, f := range fields[1:6] {
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", f)
+		}
+		nums[i] = v
+	}
+	m, in, latches, out, ands := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if latches != 0 {
+		return nil, fmt.Errorf("aiger: sequential files are not supported (%d latches)", latches)
+	}
+	if m != in+ands {
+		return nil, fmt.Errorf("aiger: inconsistent header: M=%d != I+A=%d", m, in+ands)
+	}
+	switch fields[0] {
+	case "aag":
+		return readASCII(br, in, out, ands)
+	case "aig":
+		return readBinary(br, in, out, ands)
+	}
+	return nil, fmt.Errorf("aiger: unknown magic %q", fields[0])
+}
+
+// body holds the parsed structure before graph construction.
+type body struct {
+	inputs  []uint32
+	outputs []uint32
+	ands    [][3]uint32 // lhs, rhs0, rhs1
+}
+
+func readASCII(br *bufio.Reader, in, out, ands int) (*aig.Graph, error) {
+	b := &body{}
+	readLits := func(n int, what string) ([]uint32, error) {
+		lits := make([]uint32, n)
+		for i := range lits {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				return nil, fmt.Errorf("aiger: reading %s %d: %v", what, i, err)
+			}
+			v, err := strconv.ParseUint(strings.TrimSpace(line), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: bad %s literal %q", what, strings.TrimSpace(line))
+			}
+			lits[i] = uint32(v)
+		}
+		return lits, nil
+	}
+	var err error
+	if b.inputs, err = readLits(in, "input"); err != nil {
+		return nil, err
+	}
+	if b.outputs, err = readLits(out, "output"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < ands; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aiger: reading and %d: %v", i, err)
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("aiger: bad and line %q", strings.TrimSpace(line))
+		}
+		var trip [3]uint32
+		for j, p := range parts {
+			v, err := strconv.ParseUint(p, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("aiger: bad and literal %q", p)
+			}
+			trip[j] = uint32(v)
+		}
+		b.ands = append(b.ands, trip)
+	}
+	names, comment := readSymbols(br)
+	return build(b, in, names, comment)
+}
+
+func readBinary(br *bufio.Reader, in, out, ands int) (*aig.Graph, error) {
+	b := &body{}
+	for i := 0; i < in; i++ {
+		b.inputs = append(b.inputs, uint32(i+1)<<1)
+	}
+	for i := 0; i < out; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aiger: reading output %d: %v", i, err)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(line), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: bad output literal %q", strings.TrimSpace(line))
+		}
+		b.outputs = append(b.outputs, uint32(v))
+	}
+	for i := 0; i < ands; i++ {
+		lhs := uint32(in+1+i) << 1
+		d0, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: and %d: %v", i, err)
+		}
+		d1, err := readUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("aiger: and %d: %v", i, err)
+		}
+		r0 := lhs - d0
+		r1 := r0 - d1
+		b.ands = append(b.ands, [3]uint32{lhs, r0, r1})
+	}
+	names, comment := readSymbols(br)
+	return build(b, in, names, comment)
+}
+
+func readUvarint(br *bufio.Reader) (uint32, error) {
+	var x uint32
+	var shift uint
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		x |= uint32(c&0x7F) << shift
+		if c&0x80 == 0 {
+			return x, nil
+		}
+		shift += 7
+		if shift > 28 {
+			return 0, fmt.Errorf("varint overflow")
+		}
+	}
+}
+
+// readSymbols parses the optional symbol table and comment section.
+func readSymbols(br *bufio.Reader) (map[string]string, string) {
+	names := map[string]string{}
+	var comment []string
+	inComment := false
+	for {
+		line, err := br.ReadString('\n')
+		if line == "" && err != nil {
+			break
+		}
+		line = strings.TrimRight(line, "\n")
+		if inComment {
+			comment = append(comment, line)
+			continue
+		}
+		if line == "c" {
+			inComment = true
+			continue
+		}
+		if i := strings.IndexByte(line, ' '); i > 0 {
+			names[line[:i]] = line[i+1:]
+		}
+		if err != nil {
+			break
+		}
+	}
+	return names, strings.Join(comment, "\n")
+}
+
+// build constructs the graph from a parsed body.
+func build(b *body, in int, names map[string]string, comment string) (*aig.Graph, error) {
+	g := aig.New()
+	g.Name = comment
+	lits := make([]aig.Lit, in+len(b.ands)+1)
+	defined := make([]bool, len(lits))
+	lits[0], defined[0] = aig.LitFalse, true
+
+	for i, l := range b.inputs {
+		if l != uint32(i+1)<<1 {
+			return nil, fmt.Errorf("aiger: non-contiguous input literal %d", l)
+		}
+		lits[i+1] = g.AddPI(names[fmt.Sprintf("i%d", i)])
+		defined[i+1] = true
+	}
+	resolve := func(l uint32) (aig.Lit, error) {
+		v := l >> 1
+		if int(v) >= len(lits) {
+			return 0, fmt.Errorf("aiger: literal %d out of range", l)
+		}
+		if !defined[v] {
+			return 0, fmt.Errorf("aiger: literal %d used before definition", l)
+		}
+		return lits[v].NotCond(l&1 == 1), nil
+	}
+	for _, trip := range b.ands {
+		lhs, r0, r1 := trip[0], trip[1], trip[2]
+		if lhs&1 == 1 || lhs>>1 == 0 {
+			return nil, fmt.Errorf("aiger: invalid and lhs %d", lhs)
+		}
+		if r0 >= lhs || r1 >= lhs {
+			return nil, fmt.Errorf("aiger: and %d not topologically sorted", lhs)
+		}
+		f0, err := resolve(r0)
+		if err != nil {
+			return nil, err
+		}
+		f1, err := resolve(r1)
+		if err != nil {
+			return nil, err
+		}
+		lits[lhs>>1] = g.And(f0, f1)
+		defined[lhs>>1] = true
+	}
+	for i, l := range b.outputs {
+		po, err := resolve(l)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(po, names[fmt.Sprintf("o%d", i)])
+	}
+	return g, nil
+}

@@ -1,0 +1,172 @@
+package aiger
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+func equalFunction(t *testing.T, a, b *aig.Graph) bool {
+	t.Helper()
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false
+	}
+	p := sim.Uniform(a.NumPIs(), 8, 123)
+	va := sim.Simulate(a, p)
+	vb := sim.Simulate(b, p)
+	for i := 0; i < a.NumPOs(); i++ {
+		wa := va.LitInto(a.PO(i), make([]uint64, p.Words))
+		wb := vb.LitInto(b.PO(i), make([]uint64, p.Words))
+		for w := range wa {
+			if wa[w] != wb[w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTripBothFormats(t *testing.T) {
+	for _, name := range []string{"rca32", "mtp8", "priority", "voter", "alu4"} {
+		g := bench.Get(name)
+		for _, format := range []string{"aag", "aig"} {
+			var buf bytes.Buffer
+			if err := Write(&buf, g, format); err != nil {
+				t.Fatalf("%s/%s: %v", name, format, err)
+			}
+			g2, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, format, err)
+			}
+			if !equalFunction(t, g, g2) {
+				t.Fatalf("%s/%s: function changed in round trip", name, format)
+			}
+			if g2.NumAnds() > g.NumAnds() {
+				t.Fatalf("%s/%s: AND count grew: %d -> %d", name, format, g.NumAnds(), g2.NumAnds())
+			}
+		}
+	}
+}
+
+func TestSymbolsPreserved(t *testing.T) {
+	g := aig.New()
+	g.Name = "mydesign"
+	a := g.AddPI("alpha")
+	b := g.AddPI("beta")
+	g.AddPO(g.And(a, b), "gamma")
+	var buf bytes.Buffer
+	if err := Write(&buf, g, "aag"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.PIName(0) != "alpha" || g2.PIName(1) != "beta" || g2.POName(0) != "gamma" {
+		t.Fatalf("symbols lost: %q %q %q", g2.PIName(0), g2.PIName(1), g2.POName(0))
+	}
+	if g2.Name != "mydesign" {
+		t.Fatalf("comment lost: %q", g2.Name)
+	}
+}
+
+func TestKnownASCIIVector(t *testing.T) {
+	// The canonical AIGER and-gate example: f = a & b.
+	src := "aag 3 2 0 1 1\n2\n4\n6\n6 4 2\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumPIs() != 2 || g.NumPOs() != 1 || g.NumAnds() != 1 {
+		t.Fatalf("parsed shape wrong: %s", g)
+	}
+	p := sim.Exhaustive(2)
+	v := sim.Simulate(g, p)
+	for m := 0; m < 4; m++ {
+		if v.LitBit(g.PO(0), m) != (m == 3) {
+			t.Fatalf("and(%02b) wrong", m)
+		}
+	}
+}
+
+func TestConstantOutputs(t *testing.T) {
+	// Outputs tied to constants: literal 0 (false) and 1 (true).
+	src := "aag 1 1 0 2 0\n2\n0\n1\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PO(0) != aig.LitFalse || g.PO(1) != aig.LitTrue {
+		t.Fatalf("constant outputs wrong: %v %v", g.PO(0), g.PO(1))
+	}
+}
+
+func TestComplementedOutput(t *testing.T) {
+	// f = NAND(a,b): output literal 7 (complement of and var 3).
+	src := "aag 3 2 0 1 1\n2\n4\n7\n6 4 2\n"
+	g, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sim.Simulate(g, sim.Exhaustive(2))
+	for m := 0; m < 4; m++ {
+		if v.LitBit(g.PO(0), m) != (m != 3) {
+			t.Fatalf("nand(%02b) wrong", m)
+		}
+	}
+}
+
+func TestRejectsSequential(t *testing.T) {
+	src := "aag 1 0 1 0 0\n2 3\n"
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Fatal("expected error for latches")
+	}
+}
+
+func TestRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"magic":          "xyz 1 1 0 0 0\n",
+		"short":          "aag 1 1\n",
+		"m-inconsistent": "aag 5 1 0 0 1\n2\n4 2 2\n",
+		"unsorted":       "aag 3 1 0 1 2\n2\n4\n4 6 2\n6 2 2\n",
+		"undefined":      "aag 3 1 0 1 1\n2\n6\n6 4 2\n",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestBinaryVarintBoundary(t *testing.T) {
+	// A graph large enough to force multi-byte varint deltas.
+	g := aig.New()
+	xs := g.AddPIs(12, "x")
+	acc := xs[0]
+	for i := 1; i < len(xs); i++ {
+		acc = g.Xor(acc, xs[i]) // xors create spread-out literal deltas
+	}
+	g.AddPO(acc, "parity")
+	var buf bytes.Buffer
+	if err := Write(&buf, g, "aig"); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalFunction(t, g, g2) {
+		t.Fatal("binary round trip broke parity function")
+	}
+}
+
+func TestWriteUnknownFormat(t *testing.T) {
+	g := aig.New()
+	if err := Write(&bytes.Buffer{}, g, "bogus"); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}

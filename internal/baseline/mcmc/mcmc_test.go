@@ -1,0 +1,110 @@
+package mcmc
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/errest"
+)
+
+func rippleAdder(n int) *aig.Graph {
+	g := aig.New()
+	a := g.AddPIs(n, "a")
+	b := g.AddPIs(n, "b")
+	carry := aig.LitFalse
+	for i := 0; i < n; i++ {
+		axb := g.Xor(a[i], b[i])
+		g.AddPO(g.Xor(axb, carry), "s")
+		carry = g.Or(g.And(a[i], b[i]), g.And(axb, carry))
+	}
+	g.AddPO(carry, "cout")
+	return g
+}
+
+func TestMCMCRespectsThreshold(t *testing.T) {
+	g := rippleAdder(4)
+	o := DefaultOptions(errest.ER, 0.05)
+	o.Proposals = 600
+	o.EvalPatterns = 2048
+	res := Run(g, o)
+	if res.FinalError > o.Threshold {
+		t.Fatalf("final error %.4g over threshold %.4g", res.FinalError, o.Threshold)
+	}
+	if res.Graph == nil || res.Graph.NumPOs() != g.NumPOs() {
+		t.Fatalf("bad result graph")
+	}
+	if err := res.Graph.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMCMCReducesAreaWithBudget(t *testing.T) {
+	g := rippleAdder(5)
+	o := DefaultOptions(errest.NMED, 0.05)
+	o.Proposals = 1200
+	o.EvalPatterns = 2048
+	res := Run(g, o)
+	if res.Graph.NumAnds() >= g.NumAnds() {
+		t.Fatalf("no area reduction: %d -> %d", g.NumAnds(), res.Graph.NumAnds())
+	}
+	if res.Accepted == 0 {
+		t.Fatalf("no accepted moves")
+	}
+}
+
+func TestMCMCZeroThresholdIsSafe(t *testing.T) {
+	// With Et=0 only error-free moves are accepted: the result must agree
+	// with the original circuit on every evaluation pattern.
+	g := rippleAdder(3)
+	o := DefaultOptions(errest.ER, 0)
+	o.Proposals = 300
+	o.EvalPatterns = 1024
+	res := Run(g, o)
+	if res.FinalError != 0 {
+		t.Fatalf("threshold 0 produced error %.4g", res.FinalError)
+	}
+}
+
+func TestMCMCDeterministicForSeed(t *testing.T) {
+	g := rippleAdder(4)
+	o := DefaultOptions(errest.ER, 0.03)
+	o.Proposals = 400
+	o.EvalPatterns = 1024
+	r1 := Run(g, o)
+	r2 := Run(g, o)
+	if r1.Graph.NumAnds() != r2.Graph.NumAnds() || r1.Accepted != r2.Accepted {
+		t.Fatalf("same seed, different outcomes")
+	}
+}
+
+func TestMCMCProposalAccounting(t *testing.T) {
+	g := rippleAdder(3)
+	o := DefaultOptions(errest.ER, 0.1)
+	o.Proposals = 123
+	o.EvalPatterns = 512
+	res := Run(g, o)
+	if res.Proposed != 123 {
+		t.Fatalf("proposed %d, want 123", res.Proposed)
+	}
+	if res.Accepted > res.Proposed {
+		t.Fatalf("accepted %d > proposed %d", res.Accepted, res.Proposed)
+	}
+}
+
+func TestMCMCCertifiedAcceptance(t *testing.T) {
+	// With certification on and a threshold close to the confidence margin,
+	// the flow must accept strictly fewer (or equal) moves than without.
+	g := rippleAdder(4)
+	o := DefaultOptions(errest.ER, 0.05)
+	o.Proposals = 400
+	o.EvalPatterns = 8192
+	plain := Run(g, o)
+	o.CertifyDelta = 0.05
+	cert := Run(g, o)
+	if cert.Accepted > plain.Accepted {
+		t.Fatalf("certified run accepted more moves: %d > %d", cert.Accepted, plain.Accepted)
+	}
+	if cert.FinalError > o.Threshold {
+		t.Fatalf("certified run exceeded threshold")
+	}
+}

@@ -1,0 +1,334 @@
+package bench
+
+import "repro/internal/aig"
+
+// RCA builds an n-bit ripple-carry adder: PIs a[n], b[n]; POs s[n], cout.
+// rca32 in the paper is RCA(32).
+func RCA(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "rca" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+	sum, cout := addBus(g, a, b, aig.LitFalse)
+	addPOs(g, sum, "s")
+	g.AddPO(cout, "cout")
+	return g
+}
+
+// CLA builds an n-bit carry-lookahead adder with 4-bit lookahead blocks.
+// cla32 in the paper is CLA(32).
+func CLA(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "cla" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+
+	p := make(bus, n) // propagate
+	gen := make(bus, n)
+	for i := 0; i < n; i++ {
+		p[i] = g.Xor(a[i], b[i])
+		gen[i] = g.And(a[i], b[i])
+	}
+
+	sum := make(bus, n)
+	carry := aig.LitFalse
+	for blk := 0; blk < n; blk += 4 {
+		end := min(blk+4, n)
+		// Carries inside the block from the block carry-in, two-level
+		// lookahead: c_{i+1} = g_i ∨ p_i·c_i expanded.
+		c := carry
+		for i := blk; i < end; i++ {
+			sum[i] = g.Xor(p[i], c)
+			// expanded lookahead from block carry-in
+			term := carry
+			for j := blk; j <= i; j++ {
+				term = g.And(term, p[j])
+			}
+			next := term
+			for j := blk; j <= i; j++ {
+				t := gen[j]
+				for k := j + 1; k <= i; k++ {
+					t = g.And(t, p[k])
+				}
+				next = g.Or(next, t)
+			}
+			c = next
+		}
+		carry = c
+	}
+	addPOs(g, sum, "s")
+	g.AddPO(carry, "cout")
+	return g
+}
+
+// KSA builds an n-bit Kogge-Stone parallel-prefix adder. ksa32 in the paper
+// is KSA(32).
+func KSA(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "ksa" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+
+	p := make(bus, n)
+	gen := make(bus, n)
+	for i := 0; i < n; i++ {
+		p[i] = g.Xor(a[i], b[i])
+		gen[i] = g.And(a[i], b[i])
+	}
+	// Prefix combine: (G,P) ∘ (G',P') = (G ∨ P·G', P·P').
+	G := append(bus(nil), gen...)
+	P := append(bus(nil), p...)
+	for d := 1; d < n; d *= 2 {
+		ng := append(bus(nil), G...)
+		np := append(bus(nil), P...)
+		for i := d; i < n; i++ {
+			ng[i] = g.Or(G[i], g.And(P[i], G[i-d]))
+			np[i] = g.And(P[i], P[i-d])
+		}
+		G, P = ng, np
+	}
+	sum := make(bus, n)
+	sum[0] = p[0]
+	for i := 1; i < n; i++ {
+		sum[i] = g.Xor(p[i], G[i-1])
+	}
+	addPOs(g, sum, "s")
+	g.AddPO(G[n-1], "cout")
+	return g
+}
+
+// ArrayMult builds an n×n array multiplier: PIs a[n], b[n]; POs p[2n].
+// mtp8 in the paper is ArrayMult(8).
+func ArrayMult(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "mtp" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+	prod := multiplyBuses(g, a, b)
+	addPOs(g, prod, "p")
+	return g
+}
+
+// multiplyBuses builds a row-ripple array multiplier structure.
+func multiplyBuses(g *aig.Graph, a, b bus) bus {
+	n, m := len(a), len(b)
+	prod := make(bus, n+m)
+	for i := range prod {
+		prod[i] = aig.LitFalse
+	}
+	acc := make(bus, 0, n)
+	for j := 0; j < m; j++ {
+		row := make(bus, n)
+		for i := 0; i < n; i++ {
+			row[i] = g.And(a[i], b[j])
+		}
+		if j == 0 {
+			prod[0] = row[0]
+			acc = row[1:]
+			continue
+		}
+		sum, cout := addBus(g, acc, row, aig.LitFalse)
+		prod[j] = sum[0]
+		acc = append(sum[1:], cout)
+	}
+	copy(prod[m:], acc)
+	return prod
+}
+
+// WallaceMult builds an n×n Wallace-tree multiplier: 3:2 compression of the
+// partial products followed by a final ripple adder. wal8 in the paper is
+// WallaceMult(8).
+func WallaceMult(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "wal" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+
+	w := 2 * n
+	// cols[k] = bits of weight k awaiting compression.
+	cols := make([][]aig.Lit, w)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			cols[i+j] = append(cols[i+j], g.And(a[i], b[j]))
+		}
+	}
+	// Compress until every column has at most 2 bits.
+	for {
+		again := false
+		next := make([][]aig.Lit, w)
+		for k := 0; k < w; k++ {
+			col := cols[k]
+			for len(col) >= 3 {
+				s, c := fullAdder(g, col[0], col[1], col[2])
+				col = col[3:]
+				next[k] = append(next[k], s)
+				if k+1 < w {
+					next[k+1] = append(next[k+1], c)
+				}
+				again = true
+			}
+			if len(col) == 2 {
+				// Half adder.
+				s := g.Xor(col[0], col[1])
+				c := g.And(col[0], col[1])
+				next[k] = append(next[k], s)
+				if k+1 < w {
+					next[k+1] = append(next[k+1], c)
+				}
+				again = true
+				col = nil
+			}
+			next[k] = append(next[k], col...)
+		}
+		cols = next
+		maxLen := 0
+		for _, col := range cols {
+			if len(col) > maxLen {
+				maxLen = len(col)
+			}
+		}
+		if maxLen <= 2 || !again {
+			break
+		}
+	}
+	// Final carry-propagate add of the two remaining rows.
+	rowA := make(bus, w)
+	rowB := make(bus, w)
+	for k := 0; k < w; k++ {
+		rowA[k], rowB[k] = aig.LitFalse, aig.LitFalse
+		if len(cols[k]) > 0 {
+			rowA[k] = cols[k][0]
+		}
+		if len(cols[k]) > 1 {
+			rowB[k] = cols[k][1]
+		}
+	}
+	sum, _ := addBus(g, rowA, rowB, aig.LitFalse)
+	addPOs(g, sum[:w], "p")
+	return g
+}
+
+// Square builds an n-bit squarer (p = a·a): PIs a[n]; POs p[2n].
+func Square(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "square" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	prod := multiplyBuses(g, a, a)
+	addPOs(g, prod, "p")
+	return g
+}
+
+// ALU builds a 4-bit ALU slice in the spirit of the MCNC alu4 benchmark:
+// inputs a[4], b[4], cin, op[3]; outputs r[4], cout, zero, neg, ovf
+// (12 PIs, 8 POs). Operations: add, sub, and, or, xor, nor, slt, pass-b.
+func ALU() *aig.Graph {
+	g := aig.New()
+	g.Name = "alu4"
+	a := bus(g.AddPIs(4, "a"))
+	b := bus(g.AddPIs(4, "b"))
+	cin := g.AddPI("cin")
+	op := bus(g.AddPIs(3, "op"))
+
+	// Decode op.
+	dec := make([]aig.Lit, 8)
+	for i := range dec {
+		x0 := op[0].NotCond(i&1 == 0)
+		x1 := op[1].NotCond(i&2 == 0)
+		x2 := op[2].NotCond(i&4 == 0)
+		dec[i] = g.AndN(x0, x1, x2)
+	}
+
+	addSum, addC := addBus(g, a, b, cin)
+	subDiff, subBor := subBus(g, a, b)
+	bitwise := func(f func(x, y aig.Lit) aig.Lit) bus {
+		out := make(bus, 4)
+		for i := range out {
+			out[i] = f(a[i], b[i])
+		}
+		return out
+	}
+	andB := bitwise(g.And)
+	orB := bitwise(g.Or)
+	xorB := bitwise(g.Xor)
+	norB := bitwise(func(x, y aig.Lit) aig.Lit { return g.Or(x, y).Not() })
+	// slt: 1 when a < b (unsigned).
+	slt := bus{subBor, aig.LitFalse, aig.LitFalse, aig.LitFalse}
+
+	results := []bus{addSum[:4], subDiff[:4], andB, orB, xorB, norB, slt, b}
+	r := make(bus, 4)
+	for i := 0; i < 4; i++ {
+		terms := make([]aig.Lit, len(results))
+		for k, res := range results {
+			terms[k] = g.And(dec[k], res[i])
+		}
+		r[i] = g.OrN(terms...)
+	}
+	cout := g.Or(g.And(dec[0], addC), g.And(dec[1], subBor))
+	zero := g.OrN(r...).Not()
+	neg := r[3]
+	ovf := g.Xor(addC, subBor) // a simple flag mixing both chains
+
+	addPOs(g, r, "r")
+	g.AddPO(cout, "cout")
+	g.AddPO(zero, "zero")
+	g.AddPO(neg, "neg")
+	g.AddPO(ovf, "ovf")
+	return g
+}
+
+// Divider builds an n-bit restoring divider: PIs num[n], den[n]; POs q[n],
+// r[n]. The EPFL "divisor" benchmark stands behind this generator (scaled).
+func Divider(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "div" + itoa(n)
+	num := bus(g.AddPIs(n, "n"))
+	den := bus(g.AddPIs(n, "d"))
+
+	rem := make(bus, n+1)
+	for i := range rem {
+		rem[i] = aig.LitFalse
+	}
+	den1 := append(append(bus(nil), den...), aig.LitFalse) // widen to n+1
+	q := make(bus, n)
+	for i := n - 1; i >= 0; i-- {
+		// rem = rem<<1 | num[i]
+		shifted := append(bus{num[i]}, rem[:n]...)
+		diff, borrow := subBus(g, shifted, den1)
+		q[i] = borrow.Not()
+		rem = muxBus(g, q[i], diff, shifted)
+	}
+	addPOs(g, q, "q")
+	addPOs(g, rem[:n], "r")
+	return g
+}
+
+// Sqrt builds an integer square-root unit over an n-bit input (n even):
+// PIs x[n]; POs r[n/2], computing r = floor(sqrt(x)) by restoring digit
+// recurrence. The EPFL "sqrt" benchmark stands behind this generator.
+func Sqrt(n int) *aig.Graph {
+	if n%2 != 0 {
+		panic("bench: Sqrt needs an even input width")
+	}
+	g := aig.New()
+	g.Name = "sqrt" + itoa(n)
+	x := bus(g.AddPIs(n, "x"))
+	half := n / 2
+
+	// rem and res grow as the recurrence proceeds; keep width n+2.
+	w := n + 2
+	rem := constBus(w, 0)
+	res := constBus(w, 0)
+	for i := half - 1; i >= 0; i-- {
+		// rem = rem<<2 | x[2i+1..2i]
+		rem = append(bus{x[2*i], x[2*i+1]}, rem[:w-2]...)
+		// trial = res<<2 | 01
+		trial := append(bus{aig.LitTrue, aig.LitFalse}, res[:w-2]...)
+		diff, borrow := subBus(g, rem, trial)
+		bit := borrow.Not()
+		rem = muxBus(g, bit, diff, rem)
+		// res = res<<1 | bit
+		res = append(bus{bit}, res[:w-1]...)
+	}
+	addPOs(g, res[:half], "r")
+	return g
+}

@@ -1,0 +1,222 @@
+package bench
+
+import "repro/internal/aig"
+
+// This file extends the benchmark family beyond the paper's Table III with
+// additional arithmetic units commonly used in approximate-computing
+// studies. They exercise the same flows and are handy for users adopting
+// the library on their own designs.
+
+// BrentKung builds an n-bit Brent-Kung parallel-prefix adder: PIs a[n],
+// b[n]; POs s[n], cout. Compared with Kogge-Stone it trades depth for
+// fewer prefix cells.
+func BrentKung(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "bka" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+
+	p := make(bus, n)
+	gen := make(bus, n)
+	for i := 0; i < n; i++ {
+		p[i] = g.Xor(a[i], b[i])
+		gen[i] = g.And(a[i], b[i])
+	}
+	// Prefix tree: carry[i] = generate of the range [0..i].
+	G := append(bus(nil), gen...)
+	P := append(bus(nil), p...)
+	// Up-sweep.
+	for d := 1; d < n; d *= 2 {
+		for i := 2*d - 1; i < n; i += 2 * d {
+			G[i] = g.Or(G[i], g.And(P[i], G[i-d]))
+			P[i] = g.And(P[i], P[i-d])
+		}
+	}
+	// Down-sweep.
+	for d := largestPow2Below(n); d >= 2; d /= 2 {
+		for i := d + d/2 - 1; i < n; i += d {
+			G[i] = g.Or(G[i], g.And(P[i], G[i-d/2]))
+			P[i] = g.And(P[i], P[i-d/2])
+		}
+	}
+	sum := make(bus, n)
+	sum[0] = p[0]
+	for i := 1; i < n; i++ {
+		sum[i] = g.Xor(p[i], G[i-1])
+	}
+	addPOs(g, sum, "s")
+	g.AddPO(G[n-1], "cout")
+	return g
+}
+
+func largestPow2Below(n int) int {
+	d := 1
+	for d*2 < n {
+		d *= 2
+	}
+	return d
+}
+
+// CarrySelect builds an n-bit carry-select adder with the given block
+// width: each block computes both carry hypotheses and a mux picks the
+// real one. PIs a[n], b[n]; POs s[n], cout.
+func CarrySelect(n, block int) *aig.Graph {
+	g := aig.New()
+	g.Name = "csa" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+
+	sum := make(bus, n)
+	carry := aig.LitFalse
+	for lo := 0; lo < n; lo += block {
+		hi := min(lo+block, n)
+		// Ripple the block twice: carry-in 0 and carry-in 1.
+		s0, c0 := rippleSlice(g, a[lo:hi], b[lo:hi], aig.LitFalse)
+		s1, c1 := rippleSlice(g, a[lo:hi], b[lo:hi], aig.LitTrue)
+		for i := lo; i < hi; i++ {
+			sum[i] = g.Mux(carry, s1[i-lo], s0[i-lo])
+		}
+		carry = g.Mux(carry, c1, c0)
+	}
+	addPOs(g, sum, "s")
+	g.AddPO(carry, "cout")
+	return g
+}
+
+func rippleSlice(g *aig.Graph, a, b bus, cin aig.Lit) (bus, aig.Lit) {
+	sum := make(bus, len(a))
+	c := cin
+	for i := range a {
+		sum[i], c = fullAdder(g, a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// Booth builds an n×n radix-4 Booth-recoded signed multiplier (two's
+// complement): PIs a[n], b[n]; POs p[2n]. n must be even.
+func Booth(n int) *aig.Graph {
+	if n%2 != 0 {
+		panic("bench: Booth needs an even width")
+	}
+	g := aig.New()
+	g.Name = "booth" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+	w := 2 * n
+
+	// Sign-extend a to the full product width.
+	aExt := make(bus, w)
+	copy(aExt, a)
+	for i := n; i < w; i++ {
+		aExt[i] = a[n-1]
+	}
+	negAExt := negate(g, aExt)
+	twoA := shiftLeftOne(aExt)
+	negTwoA := negate(g, twoA)
+
+	acc := constBus(w, 0)
+	for j := 0; j < n; j += 2 {
+		// Booth digits use bits b[j+1], b[j], b[j-1] (b[-1] = 0).
+		bm1 := aig.LitFalse
+		if j > 0 {
+			bm1 = b[j-1]
+		}
+		b0, b1 := b[j], b[j+1]
+		// digit = -2*b1 + b0 + bm1 ∈ {-2..2}
+		isPlus1 := g.And(b1.Not(), g.Xor(b0, bm1))
+		isPlus2 := g.AndN(b1.Not(), b0, bm1)
+		isMinus1 := g.And(b1, g.Xor(b0, bm1))
+		isMinus2 := g.AndN(b1, b0.Not(), bm1.Not())
+
+		term := make(bus, w)
+		for i := 0; i < w; i++ {
+			term[i] = g.OrN(
+				g.And(isPlus1, aExt[i]),
+				g.And(isPlus2, twoA[i]),
+				g.And(isMinus1, negAExt[i]),
+				g.And(isMinus2, negTwoA[i]),
+			)
+		}
+		// Shift by j and accumulate.
+		shifted := make(bus, w)
+		for i := 0; i < w; i++ {
+			if i >= j {
+				shifted[i] = term[i-j]
+			} else {
+				shifted[i] = aig.LitFalse
+			}
+		}
+		acc, _ = addBus(g, acc, shifted, aig.LitFalse)
+		acc = acc[:w]
+	}
+	addPOs(g, acc, "p")
+	return g
+}
+
+// negate returns the two's complement of the bus.
+func negate(g *aig.Graph, a bus) bus {
+	inv := make(bus, len(a))
+	for i := range a {
+		inv[i] = a[i].Not()
+	}
+	s, _ := addBus(g, inv, constBus(len(a), 1), aig.LitFalse)
+	return s[:len(a)]
+}
+
+func shiftLeftOne(a bus) bus {
+	out := make(bus, len(a))
+	out[0] = aig.LitFalse
+	copy(out[1:], a[:len(a)-1])
+	return out
+}
+
+// Parity builds an n-input parity tree: PIs x[n]; PO parity.
+func Parity(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "parity" + itoa(n)
+	xs := bus(g.AddPIs(n, "x"))
+	g.AddPO(g.XorN(xs...), "p")
+	return g
+}
+
+// AbsDiff builds an n-bit absolute-difference unit |a−b| (a core of motion
+// estimation kernels): PIs a[n], b[n]; POs d[n].
+func AbsDiff(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "absdiff" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+	amb, borrow := subBus(g, a, b)
+	bma, _ := subBus(g, b, a)
+	addPOs(g, muxBus(g, borrow, bma[:n], amb[:n]), "d")
+	return g
+}
+
+// GrayEncode builds an n-bit binary-to-Gray encoder: PIs x[n]; POs y[n].
+func GrayEncode(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "gray" + itoa(n)
+	x := bus(g.AddPIs(n, "x"))
+	y := make(bus, n)
+	for i := 0; i < n-1; i++ {
+		y[i] = g.Xor(x[i], x[i+1])
+	}
+	y[n-1] = x[n-1]
+	addPOs(g, y, "y")
+	return g
+}
+
+// SevenSeg builds a BCD-to-seven-segment decoder: PIs d[4]; POs seg[7]
+// (segments a..g, active high, inputs ≥ 10 dark).
+func SevenSeg() *aig.Graph {
+	// Segment patterns for digits 0-9, bit 0 = segment a.
+	var digits = [10]uint64{
+		0b0111111, 0b0000110, 0b1011011, 0b1001111, 0b1100110,
+		0b1101101, 0b1111101, 0b0000111, 0b1111111, 0b1101111,
+	}
+	values := make([]uint64, 16)
+	copy(values[:10], digits[:])
+	g := ROM("bcd7seg", 4, 7, values)
+	g.Name = "bcd7seg"
+	return g
+}

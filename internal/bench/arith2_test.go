@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/sim"
+)
+
+func TestBrentKung(t *testing.T) {
+	testAdder(t, BrentKung, 8)
+	testAdder(t, BrentKung, 16)
+	testAdder(t, BrentKung, 32)
+	testAdder(t, BrentKung, 7) // non-power-of-two width
+}
+
+func TestCarrySelect(t *testing.T) {
+	testAdder(t, func(n int) *aig.Graph { return CarrySelect(n, 4) }, 8)
+	testAdder(t, func(n int) *aig.Graph { return CarrySelect(n, 4) }, 17)
+	testAdder(t, func(n int) *aig.Graph { return CarrySelect(n, 5) }, 16)
+}
+
+func TestBoothSigned(t *testing.T) {
+	n := 6
+	g := Booth(n)
+	if g.NumPIs() != 2*n || g.NumPOs() != 2*n {
+		t.Fatalf("booth interface %d/%d", g.NumPIs(), g.NumPOs())
+	}
+	v, p := simRandom(g, 55)
+	mask := uint64(1)<<(2*n) - 1
+	for pat := 0; pat < 256; pat++ {
+		a := signExtend(piValue(p, 0, n, pat), n)
+		b := signExtend(piValue(p, n, n, pat), n)
+		got := evalBus(g, v, 0, 2*n, pat)
+		want := uint64(a*b) & mask
+		if got != want {
+			t.Fatalf("booth(%d,%d) = %x, want %x", a, b, got, want)
+		}
+	}
+}
+
+func signExtend(x uint64, n int) int64 {
+	if x>>(n-1)&1 == 1 {
+		x |= ^uint64(0) << n
+	}
+	return int64(x)
+}
+
+func TestParity(t *testing.T) {
+	g := Parity(9)
+	v, p := simRandom(g, 3)
+	for pat := 0; pat < 256; pat++ {
+		x := piValue(p, 0, 9, pat)
+		want := false
+		for b := 0; b < 9; b++ {
+			if x>>b&1 == 1 {
+				want = !want
+			}
+		}
+		if v.LitBit(g.PO(0), pat) != want {
+			t.Fatalf("parity(%09b) wrong", x)
+		}
+	}
+}
+
+func TestAbsDiff(t *testing.T) {
+	n := 7
+	g := AbsDiff(n)
+	v, p := simRandom(g, 8)
+	for pat := 0; pat < 256; pat++ {
+		a := piValue(p, 0, n, pat)
+		b := piValue(p, n, n, pat)
+		got := evalBus(g, v, 0, n, pat)
+		want := a - b
+		if b > a {
+			want = b - a
+		}
+		if got != want {
+			t.Fatalf("|%d-%d| = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestGrayEncode(t *testing.T) {
+	n := 6
+	g := GrayEncode(n)
+	p := sim.Exhaustive(n)
+	v := sim.Simulate(g, p)
+	for x := 0; x < 1<<n; x++ {
+		got := evalBus(g, v, 0, n, x)
+		want := uint64(x) ^ uint64(x)>>1
+		if got != want {
+			t.Fatalf("gray(%d) = %b, want %b", x, got, want)
+		}
+	}
+}
+
+func TestSevenSeg(t *testing.T) {
+	g := SevenSeg()
+	p := sim.Exhaustive(4)
+	v := sim.Simulate(g, p)
+	// Digit 8 lights everything; digit 1 lights only segments b and c.
+	if got := evalBus(g, v, 0, 7, 8); got != 0b1111111 {
+		t.Fatalf("seg(8) = %07b", got)
+	}
+	if got := evalBus(g, v, 0, 7, 1); got != 0b0000110 {
+		t.Fatalf("seg(1) = %07b", got)
+	}
+	for d := 10; d < 16; d++ {
+		if got := evalBus(g, v, 0, 7, d); got != 0 {
+			t.Fatalf("seg(%d) = %07b, want dark", d, got)
+		}
+	}
+}

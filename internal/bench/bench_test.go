@@ -1,0 +1,470 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/sim"
+)
+
+// evalBus reads the integer encoded by consecutive POs [lo, lo+width) of a
+// simulated graph under pattern index p.
+func evalBus(g *aig.Graph, v *sim.Vectors, lo, width, p int) uint64 {
+	var out uint64
+	for i := 0; i < width; i++ {
+		if v.LitBit(g.PO(lo+i), p) {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// simRandom simulates g on 256 random patterns and returns vectors plus the
+// per-pattern PI values as integers over the given PI ranges.
+func simRandom(g *aig.Graph, seed int64) (*sim.Vectors, *sim.Patterns) {
+	p := sim.Uniform(g.NumPIs(), 4, seed)
+	return sim.Simulate(g, p), p
+}
+
+func piValue(p *sim.Patterns, lo, width, pat int) uint64 {
+	var out uint64
+	for i := 0; i < width; i++ {
+		if p.In[lo+i][pat>>6]>>(uint(pat)&63)&1 == 1 {
+			out |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+func testAdder(t *testing.T, build func(int) *aig.Graph, n int) {
+	t.Helper()
+	g := build(n)
+	if g.NumPIs() != 2*n || g.NumPOs() != n+1 {
+		t.Fatalf("%s: interface %d/%d", g.Name, g.NumPIs(), g.NumPOs())
+	}
+	v, p := simRandom(g, int64(n))
+	for pat := 0; pat < 256; pat++ {
+		a := piValue(p, 0, n, pat)
+		b := piValue(p, n, n, pat)
+		got := evalBus(g, v, 0, n+1, pat)
+		want := (a + b) & (1<<(n+1) - 1)
+		if got != want {
+			t.Fatalf("%s: %d+%d = %d, want %d", g.Name, a, b, got, want)
+		}
+	}
+}
+
+func TestRCA(t *testing.T)    { testAdder(t, RCA, 8); testAdder(t, RCA, 32) }
+func TestCLA(t *testing.T)    { testAdder(t, CLA, 8); testAdder(t, CLA, 32) }
+func TestKSA(t *testing.T)    { testAdder(t, KSA, 8); testAdder(t, KSA, 32) }
+func TestKSAOdd(t *testing.T) { testAdder(t, KSA, 5) }
+func TestCLAOdd(t *testing.T) { testAdder(t, CLA, 6) }
+
+func testMult(t *testing.T, g *aig.Graph, n int) {
+	t.Helper()
+	if g.NumPIs() != 2*n || g.NumPOs() != 2*n {
+		t.Fatalf("%s: interface %d/%d", g.Name, g.NumPIs(), g.NumPOs())
+	}
+	v, p := simRandom(g, 77)
+	for pat := 0; pat < 256; pat++ {
+		a := piValue(p, 0, n, pat)
+		b := piValue(p, n, n, pat)
+		got := evalBus(g, v, 0, 2*n, pat)
+		if got != a*b {
+			t.Fatalf("%s: %d*%d = %d, want %d", g.Name, a, b, got, a*b)
+		}
+	}
+}
+
+func TestArrayMult(t *testing.T)   { testMult(t, ArrayMult(8), 8) }
+func TestWallaceMult(t *testing.T) { testMult(t, WallaceMult(8), 8) }
+func TestWallaceSmall(t *testing.T) {
+	testMult(t, WallaceMult(4), 4)
+	testMult(t, WallaceMult(3), 3)
+}
+
+func TestSquare(t *testing.T) {
+	n := 8
+	g := Square(n)
+	v, p := simRandom(g, 5)
+	for pat := 0; pat < 256; pat++ {
+		a := piValue(p, 0, n, pat)
+		got := evalBus(g, v, 0, 2*n, pat)
+		if got != a*a {
+			t.Fatalf("square(%d) = %d, want %d", a, got, a*a)
+		}
+	}
+}
+
+func TestALU(t *testing.T) {
+	g := ALU()
+	if g.NumPIs() != 12 || g.NumPOs() != 8 {
+		t.Fatalf("alu interface %d/%d", g.NumPIs(), g.NumPOs())
+	}
+	v, p := simRandom(g, 4)
+	for pat := 0; pat < 256; pat++ {
+		a := piValue(p, 0, 4, pat)
+		b := piValue(p, 4, 4, pat)
+		cin := piValue(p, 8, 1, pat)
+		op := piValue(p, 9, 3, pat)
+		r := evalBus(g, v, 0, 4, pat)
+		var want uint64
+		switch op {
+		case 0:
+			want = (a + b + cin) & 0xF
+		case 1:
+			want = (a - b) & 0xF
+		case 2:
+			want = a & b
+		case 3:
+			want = a | b
+		case 4:
+			want = a ^ b
+		case 5:
+			want = ^(a | b) & 0xF
+		case 6:
+			if a < b {
+				want = 1
+			}
+		case 7:
+			want = b
+		}
+		if r != want {
+			t.Fatalf("alu op %d: a=%d b=%d cin=%d -> %d, want %d", op, a, b, cin, r, want)
+		}
+		// zero flag
+		zero := evalBus(g, v, 5, 1, pat)
+		if (zero == 1) != (r == 0) {
+			t.Fatalf("zero flag wrong for r=%d", r)
+		}
+	}
+}
+
+func TestDivider(t *testing.T) {
+	n := 8
+	g := Divider(n)
+	v, p := simRandom(g, 9)
+	for pat := 0; pat < 256; pat++ {
+		num := piValue(p, 0, n, pat)
+		den := piValue(p, n, n, pat)
+		if den == 0 {
+			continue // division by zero leaves unspecified outputs
+		}
+		q := evalBus(g, v, 0, n, pat)
+		r := evalBus(g, v, n, n, pat)
+		if q != num/den || r != num%den {
+			t.Fatalf("%d/%d = q%d r%d, want q%d r%d", num, den, q, r, num/den, num%den)
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	n := 16
+	g := Sqrt(n)
+	if g.NumPOs() != n/2 {
+		t.Fatalf("sqrt POs = %d", g.NumPOs())
+	}
+	v, p := simRandom(g, 12)
+	for pat := 0; pat < 256; pat++ {
+		x := piValue(p, 0, n, pat)
+		got := evalBus(g, v, 0, n/2, pat)
+		want := uint64(math.Sqrt(float64(x)))
+		// Guard against float rounding at perfect squares.
+		for (want+1)*(want+1) <= x {
+			want++
+		}
+		for want*want > x {
+			want--
+		}
+		if got != want {
+			t.Fatalf("sqrt(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestDecoder(t *testing.T) {
+	g := Decoder(4)
+	if g.NumPOs() != 16 {
+		t.Fatalf("decoder POs = %d", g.NumPOs())
+	}
+	p := sim.Exhaustive(4)
+	v := sim.Simulate(g, p)
+	for m := 0; m < 16; m++ {
+		for o := 0; o < 16; o++ {
+			want := o == m
+			if v.LitBit(g.PO(o), m) != want {
+				t.Fatalf("decoder(%d) output %d wrong", m, o)
+			}
+		}
+	}
+}
+
+func TestPriority(t *testing.T) {
+	g := Priority(8)
+	p := sim.Exhaustive(8)
+	v := sim.Simulate(g, p)
+	for m := 0; m < 256; m++ {
+		idx := evalBus(g, v, 0, 3, m)
+		valid := evalBus(g, v, 3, 1, m)
+		if m == 0 {
+			if valid != 0 {
+				t.Fatalf("valid set for zero input")
+			}
+			continue
+		}
+		want := uint64(63 - uint(leadingZeros8(uint8(m))) - 56)
+		if valid != 1 || idx != want {
+			t.Fatalf("priority(%08b) = %d (valid %d), want %d", m, idx, valid, want)
+		}
+	}
+}
+
+func leadingZeros8(x uint8) int {
+	n := 0
+	for i := 7; i >= 0; i-- {
+		if x>>uint(i)&1 == 1 {
+			return n
+		}
+		n++
+	}
+	return 8
+}
+
+func TestArbiter(t *testing.T) {
+	g := Arbiter(4)
+	p := sim.Exhaustive(5)
+	v := sim.Simulate(g, p)
+	for m := 0; m < 32; m++ {
+		req := m & 0xF
+		en := m>>4&1 == 1
+		grants := evalBus(g, v, 0, 4, m)
+		busy := evalBus(g, v, 4, 1, m)
+		if !en || req == 0 {
+			if grants != 0 || busy != 0 {
+				t.Fatalf("idle arbiter granted: req=%04b en=%v", req, en)
+			}
+			continue
+		}
+		// Exactly the lowest-index request wins.
+		want := uint64(req & -req)
+		if grants != want || busy != 1 {
+			t.Fatalf("arbiter(%04b) = %04b, want %04b", req, grants, want)
+		}
+	}
+}
+
+func TestVoter(t *testing.T) {
+	g := Voter(7)
+	p := sim.Exhaustive(7)
+	v := sim.Simulate(g, p)
+	for m := 0; m < 128; m++ {
+		ones := 0
+		for i := 0; i < 7; i++ {
+			if m>>i&1 == 1 {
+				ones++
+			}
+		}
+		want := ones >= 4
+		if v.LitBit(g.PO(0), m) != want {
+			t.Fatalf("voter(%07b) = %v, want %v", m, !want, want)
+		}
+	}
+}
+
+func TestShifter(t *testing.T) {
+	n := 16
+	g := Shifter(n)
+	v, p := simRandom(g, 21)
+	for pat := 0; pat < 256; pat++ {
+		x := piValue(p, 0, n, pat)
+		sh := piValue(p, n, 4, pat)
+		got := evalBus(g, v, 0, n, pat)
+		want := x >> sh
+		if got != want {
+			t.Fatalf("%d >> %d = %d, want %d", x, sh, got, want)
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	n := 12
+	g := Max(n)
+	v, p := simRandom(g, 33)
+	for pat := 0; pat < 256; pat++ {
+		a := piValue(p, 0, n, pat)
+		b := piValue(p, n, n, pat)
+		got := evalBus(g, v, 0, n, pat)
+		want := max(a, b)
+		if got != want {
+			t.Fatalf("max(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestInt2Float(t *testing.T) {
+	g := Int2Float(11, 4, 3)
+	if g.NumPOs() != 7 {
+		t.Fatalf("int2float POs = %d", g.NumPOs())
+	}
+	v, p := simRandom(g, 8)
+	for pat := 0; pat < 256; pat++ {
+		x := piValue(p, 0, 11, pat)
+		man := evalBus(g, v, 0, 3, pat)
+		exp := evalBus(g, v, 3, 4, pat)
+		if x == 0 {
+			if exp != 0 || man != 0 {
+				t.Fatalf("int2float(0) = exp %d man %d", exp, man)
+			}
+			continue
+		}
+		wantExp := uint64(0)
+		for xx := x; xx > 1; xx >>= 1 {
+			wantExp++
+		}
+		if exp != wantExp {
+			t.Fatalf("int2float(%d) exp = %d, want %d", x, exp, wantExp)
+		}
+		// Mantissa: the 3 bits right below the leading one, left-aligned.
+		var wantMan uint64
+		for b := 0; b < 3; b++ {
+			src := int(wantExp) - 1 - b
+			if src >= 0 && x>>uint(src)&1 == 1 {
+				wantMan |= 1 << uint(2-b)
+			}
+		}
+		if man != wantMan {
+			t.Fatalf("int2float(%d) man = %03b, want %03b", x, man, wantMan)
+		}
+	}
+}
+
+func TestSine(t *testing.T) {
+	n := 6
+	g := Sine(n)
+	p := sim.Exhaustive(n)
+	v := sim.Simulate(g, p)
+	maxV := float64(uint64(1)<<n - 1)
+	for x := 0; x < 1<<n; x++ {
+		got := evalBus(g, v, 0, n, x)
+		s := math.Sin(2 * math.Pi * float64(x) / float64(int(1)<<n))
+		want := uint64(math.Round(maxV / 2 * (1 + s)))
+		if got != want {
+			t.Fatalf("sine(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	g := Log2(8, 4)
+	p := sim.Exhaustive(8)
+	v := sim.Simulate(g, p)
+	for x := 0; x < 256; x++ {
+		got := evalBus(g, v, 0, g.NumPOs(), x)
+		val := 1.0
+		if x > 1 {
+			val = float64(x)
+		}
+		want := uint64(math.Round(math.Log2(val) * 16))
+		if got != want {
+			t.Fatalf("log2(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestComparator(t *testing.T) {
+	g := Comparator(5)
+	v, p := simRandom(g, 2)
+	for pat := 0; pat < 256; pat++ {
+		a := piValue(p, 0, 5, pat)
+		b := piValue(p, 5, 5, pat)
+		lt := v.LitBit(g.PO(0), pat)
+		eq := v.LitBit(g.PO(1), pat)
+		gt := v.LitBit(g.PO(2), pat)
+		if lt != (a < b) || eq != (a == b) || gt != (a > b) {
+			t.Fatalf("cmp(%d,%d) = %v %v %v", a, b, lt, eq, gt)
+		}
+	}
+}
+
+func TestRandomControlDeterministicAndSized(t *testing.T) {
+	g1 := RandomControl("rc", 20, 10, 200, 42)
+	g2 := RandomControl("rc", 20, 10, 200, 42)
+	if g1.NumAnds() != g2.NumAnds() || g1.NumPIs() != 20 || g1.NumPOs() != 10 {
+		t.Fatalf("random control not deterministic or wrong interface")
+	}
+	if g1.NumAnds() < 100 {
+		t.Fatalf("random control too small: %d ANDs", g1.NumAnds())
+	}
+	g3 := RandomControl("rc", 20, 10, 200, 43)
+	if g3.NumAnds() == g1.NumAnds() && g3.Depth() == g1.Depth() {
+		// Different seeds normally differ in at least one statistic.
+		v1, _ := simRandom(g1, 7)
+		v3, _ := simRandom(g3, 7)
+		same := true
+		for i := 0; i < g1.NumPOs() && i < g3.NumPOs(); i++ {
+			if v1.LitBit(g1.PO(i), 0) != v3.LitBit(g3.PO(i), 0) {
+				same = false
+			}
+		}
+		if same {
+			t.Logf("warning: seeds 42/43 produced suspiciously similar circuits")
+		}
+	}
+}
+
+func TestROMValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	values := make([]uint64, 32)
+	for i := range values {
+		values[i] = rng.Uint64() & 0xFF
+	}
+	g := ROM("rom", 5, 8, values)
+	p := sim.Exhaustive(5)
+	v := sim.Simulate(g, p)
+	for m := 0; m < 32; m++ {
+		if got := evalBus(g, v, 0, 8, m); got != values[m] {
+			t.Fatalf("rom[%d] = %d, want %d", m, got, values[m])
+		}
+	}
+}
+
+func TestSuitesBuildAndCheck(t *testing.T) {
+	for _, e := range All() {
+		g := e.Build()
+		if g == nil {
+			t.Fatalf("%s: nil graph", e.Name)
+		}
+		if err := g.Check(); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if g.NumAnds() == 0 {
+			t.Fatalf("%s: empty circuit", e.Name)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if Get("rca32") == nil || Get("voter") == nil {
+		t.Fatalf("Get failed for known benchmarks")
+	}
+	if Get("nonexistent") != nil {
+		t.Fatalf("Get returned a graph for an unknown name")
+	}
+}
+
+func TestArithEDOutputsFitValueMetrics(t *testing.T) {
+	for _, e := range ArithED() {
+		g := e.Build()
+		if g.NumPOs() > 64 {
+			t.Errorf("%s: %d POs exceed the value-metric limit", e.Name, g.NumPOs())
+		}
+	}
+	for _, e := range EPFLArith() {
+		g := e.Build()
+		if g.NumPOs() > 64 {
+			t.Errorf("%s: %d POs exceed the value-metric limit", e.Name, g.NumPOs())
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/aig"
+)
+
+// Decoder builds an n-to-2^n line decoder: PIs s[n]; POs d[2^n] (one-hot).
+// The EPFL "decoder" benchmark is Decoder(8); scaled variants keep the
+// exact same structure.
+func Decoder(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "decoder" + itoa(n)
+	s := bus(g.AddPIs(n, "s"))
+	for m := 0; m < 1<<n; m++ {
+		lits := make([]aig.Lit, n)
+		for i := 0; i < n; i++ {
+			lits[i] = s[i].NotCond(m>>i&1 == 0)
+		}
+		g.AddPO(g.AndN(lits...), busName("d", m))
+	}
+	return g
+}
+
+// Priority builds an n-input priority encoder: PIs r[n]; POs idx[ceil(log2 n)]
+// (index of the highest-priority asserted input, higher index wins) and a
+// valid flag. The EPFL "priority" benchmark is the 128-input variant.
+func Priority(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "priority" + itoa(n)
+	r := bus(g.AddPIs(n, "r"))
+
+	// anyAbove[i] = r[i+1] | ... | r[n-1]
+	sel := make(bus, n) // sel[i]: r[i] is the highest asserted input
+	anyAbove := aig.LitFalse
+	for i := n - 1; i >= 0; i-- {
+		sel[i] = g.And(r[i], anyAbove.Not())
+		anyAbove = g.Or(anyAbove, r[i])
+	}
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for b := 0; b < bits; b++ {
+		var terms []aig.Lit
+		for i := 0; i < n; i++ {
+			if i>>b&1 == 1 {
+				terms = append(terms, sel[i])
+			}
+		}
+		g.AddPO(g.OrN(terms...), busName("idx", b))
+	}
+	g.AddPO(anyAbove, "valid")
+	return g
+}
+
+// Arbiter builds an n-client fixed-priority arbiter with an enable input:
+// PIs req[n], en; POs grant[n], busy. Structurally a priority chain like
+// the EPFL "arbiter" (which is a larger round-robin design; scaled
+// substitute documented in DESIGN.md).
+func Arbiter(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "arbiter" + itoa(n)
+	req := bus(g.AddPIs(n, "req"))
+	en := g.AddPI("en")
+
+	taken := aig.LitFalse
+	grants := make(bus, n)
+	for i := 0; i < n; i++ {
+		grants[i] = g.AndN(req[i], taken.Not(), en)
+		taken = g.Or(taken, req[i])
+	}
+	addPOs(g, grants, "gnt")
+	g.AddPO(g.And(taken, en), "busy")
+	return g
+}
+
+// Voter builds an n-input majority voter (n odd): PIs v[n]; PO maj. It
+// counts ones with a full-adder tree and compares against n/2, like the
+// EPFL "voter" (1001 inputs; scaled substitute).
+func Voter(n int) *aig.Graph {
+	if n%2 == 0 {
+		panic("bench: Voter needs an odd input count")
+	}
+	g := aig.New()
+	g.Name = "voter" + itoa(n)
+	v := bus(g.AddPIs(n, "v"))
+
+	count := popCount(g, v)
+	threshold := constBus(len(count), uint64(n/2)+1)
+	g.AddPO(geq(g, count, threshold), "maj")
+	return g
+}
+
+// popCount sums the bits of v into a binary count using a balanced
+// carry-save adder tree.
+func popCount(g *aig.Graph, v bus) bus {
+	// Work with a list of equal-weight buses and add them pairwise.
+	items := make([]bus, len(v))
+	for i, l := range v {
+		items[i] = bus{l}
+	}
+	for len(items) > 1 {
+		var next []bus
+		for i := 0; i+1 < len(items); i += 2 {
+			sum, cout := addBus(g, items[i], items[i+1], aig.LitFalse)
+			next = append(next, append(sum, cout))
+		}
+		if len(items)%2 == 1 {
+			next = append(next, items[len(items)-1])
+		}
+		items = next
+	}
+	return items[0]
+}
+
+// Shifter builds an n-bit logical right barrel shifter: PIs x[n],
+// sh[log2 n]; POs y[n]. The EPFL "shifter" benchmark is the 64-bit variant.
+func Shifter(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "shifter" + itoa(n)
+	x := bus(g.AddPIs(n, "x"))
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	sh := bus(g.AddPIs(bits, "sh"))
+
+	cur := x
+	for b := 0; b < bits; b++ {
+		amount := 1 << b
+		shifted := make(bus, n)
+		for i := 0; i < n; i++ {
+			if i+amount < n {
+				shifted[i] = cur[i+amount]
+			} else {
+				shifted[i] = aig.LitFalse
+			}
+		}
+		cur = muxBus(g, sh[b], shifted, cur)
+	}
+	addPOs(g, cur, "y")
+	return g
+}
+
+// Max builds a two-operand n-bit maximum unit: PIs a[n], b[n]; POs m[n].
+// The EPFL "max" benchmark computes the max of four 128-bit words; this is
+// the scaled two-word form.
+func Max(n int) *aig.Graph {
+	g := aig.New()
+	g.Name = "max" + itoa(n)
+	a := bus(g.AddPIs(n, "a"))
+	b := bus(g.AddPIs(n, "b"))
+	aGeB := geq(g, a, b)
+	addPOs(g, muxBus(g, aGeB, a, b), "m")
+	return g
+}
+
+// Int2Float converts an n-bit unsigned integer to a small floating-point
+// format with expBits exponent bits and manBits mantissa bits (no sign,
+// truncation rounding), like the EPFL "int2float" (11-bit to 7-bit).
+func Int2Float(n, expBits, manBits int) *aig.Graph {
+	g := aig.New()
+	g.Name = "int2float" + itoa(n)
+	x := bus(g.AddPIs(n, "x"))
+
+	// Exponent = index of the leading one (0 when x = 0).
+	sel := make(bus, n) // one-hot leading-one position
+	anyAbove := aig.LitFalse
+	for i := n - 1; i >= 0; i-- {
+		sel[i] = g.And(x[i], anyAbove.Not())
+		anyAbove = g.Or(anyAbove, x[i])
+	}
+	exp := make(bus, expBits)
+	for b := 0; b < expBits; b++ {
+		var terms []aig.Lit
+		for i := 0; i < n; i++ {
+			if i>>b&1 == 1 {
+				terms = append(terms, sel[i])
+			}
+		}
+		exp[b] = g.OrN(terms...)
+	}
+	// Mantissa = the manBits bits below the leading one (left-aligned).
+	man := make(bus, manBits)
+	for b := 0; b < manBits; b++ {
+		var terms []aig.Lit
+		for i := 0; i < n; i++ {
+			src := i - 1 - b // bit position feeding mantissa bit (MSB first)
+			if src >= 0 {
+				terms = append(terms, g.And(sel[i], x[src]))
+			}
+		}
+		man[manBits-1-b] = g.OrN(terms...)
+	}
+	addPOs(g, man, "man")
+	addPOs(g, exp, "exp")
+	return g
+}
+
+// RandomControl builds a seeded pseudo-random multi-level control circuit
+// with the given interface and AND-gate budget. It substitutes benchmarks
+// whose netlists are not reproducible offline (ISCAS c-series, EPFL cavlc/
+// i2c/mem_ctrl/router): random control logic exercises the same ALS code
+// paths (irregular structure, wide fanin cones, no arithmetic encoding).
+func RandomControl(name string, nPI, nPO, nGates int, seed int64) *aig.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := aig.New()
+	g.Name = name
+	lits := bus(g.AddPIs(nPI, "x"))
+
+	for attempts := 0; len(lits) < nPI+nGates && attempts < 100*nGates; attempts++ {
+		// Bias fanin choice toward recent signals for depth.
+		pick := func() aig.Lit {
+			i := len(lits) - 1 - rng.Intn(min(len(lits), 3*nPI))
+			if i < 0 {
+				i = rng.Intn(len(lits))
+			}
+			return lits[i].NotCond(rng.Intn(2) == 0)
+		}
+		a, b := pick(), pick()
+		before := g.NumNodes()
+		var l aig.Lit
+		switch rng.Intn(4) {
+		case 0, 1:
+			l = g.And(a, b)
+		case 2:
+			l = g.Or(a, b)
+		default:
+			l = g.Xor(a, b)
+		}
+		if g.NumNodes() > before {
+			lits = append(lits, l)
+		}
+	}
+	// Outputs: the most recently created distinct signals.
+	for i := 0; i < nPO; i++ {
+		g.AddPO(lits[len(lits)-1-i%nGates], busName("f", i))
+	}
+	return g
+}

@@ -1,0 +1,124 @@
+// Package bench generates the benchmark circuits of the paper's evaluation
+// (Table III) from scratch: ISCAS-class control logic, the SIS-optimized
+// arithmetic set (rca32, cla32, ksa32, mtp8, wal8, alu4) and the EPFL
+// random/control and arithmetic suites. Where the original netlists are not
+// reproducible offline (ISCAS c-series, several EPFL control circuits),
+// seeded pseudo-random multi-level logic with the same PI/PO profile stands
+// in; arithmetic circuits are generated as real adders, multipliers,
+// dividers, shifters and square-root units, scaled to tractable widths.
+// DESIGN.md lists every substitution.
+package bench
+
+import "repro/internal/aig"
+
+// bus is a little-endian vector of literals (index 0 = LSB).
+type bus []aig.Lit
+
+// addPOs registers all bus bits as outputs named prefix0..prefixN-1.
+func addPOs(g *aig.Graph, b bus, prefix string) {
+	for i, l := range b {
+		g.AddPO(l, busName(prefix, i))
+	}
+}
+
+func busName(prefix string, i int) string {
+	return prefix + "[" + itoa(i) + "]"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// fullAdder returns sum and carry of three bits.
+func fullAdder(g *aig.Graph, a, b, c aig.Lit) (sum, carry aig.Lit) {
+	axb := g.Xor(a, b)
+	sum = g.Xor(axb, c)
+	carry = g.Or(g.And(a, b), g.And(axb, c))
+	return
+}
+
+// addBus returns a+b+cin as a sum bus of max(len) bits plus carry-out,
+// using a ripple chain. Shorter operands are zero-extended.
+func addBus(g *aig.Graph, a, b bus, cin aig.Lit) (bus, aig.Lit) {
+	n := max(len(a), len(b))
+	sum := make(bus, n)
+	carry := cin
+	for i := 0; i < n; i++ {
+		ai, bi := aig.LitFalse, aig.LitFalse
+		if i < len(a) {
+			ai = a[i]
+		}
+		if i < len(b) {
+			bi = b[i]
+		}
+		sum[i], carry = fullAdder(g, ai, bi, carry)
+	}
+	return sum, carry
+}
+
+// subBus returns a-b and the borrow-out (1 when a < b).
+func subBus(g *aig.Graph, a, b bus) (bus, aig.Lit) {
+	n := max(len(a), len(b))
+	diff := make(bus, n)
+	borrow := aig.LitFalse
+	for i := 0; i < n; i++ {
+		ai, bi := aig.LitFalse, aig.LitFalse
+		if i < len(a) {
+			ai = a[i]
+		}
+		if i < len(b) {
+			bi = b[i]
+		}
+		axb := g.Xor(ai, bi)
+		diff[i] = g.Xor(axb, borrow)
+		// borrow' = ¬a·b + ¬(a⊕b)·borrow
+		borrow = g.Or(g.And(ai.Not(), bi), g.And(axb.Not(), borrow))
+	}
+	return diff, borrow
+}
+
+// muxBus selects a when s is true, else b, bit by bit.
+func muxBus(g *aig.Graph, s aig.Lit, a, b bus) bus {
+	n := max(len(a), len(b))
+	out := make(bus, n)
+	for i := 0; i < n; i++ {
+		ai, bi := aig.LitFalse, aig.LitFalse
+		if i < len(a) {
+			ai = a[i]
+		}
+		if i < len(b) {
+			bi = b[i]
+		}
+		out[i] = g.Mux(s, ai, bi)
+	}
+	return out
+}
+
+// constBus returns the width-bit little-endian constant v.
+func constBus(width int, v uint64) bus {
+	b := make(bus, width)
+	for i := range b {
+		if v>>uint(i)&1 == 1 {
+			b[i] = aig.LitTrue
+		} else {
+			b[i] = aig.LitFalse
+		}
+	}
+	return b
+}
+
+// geq returns a >= b (unsigned).
+func geq(g *aig.Graph, a, b bus) aig.Lit {
+	_, borrow := subBus(g, a, b)
+	return borrow.Not()
+}

@@ -1,0 +1,120 @@
+package bench
+
+import "repro/internal/aig"
+
+// Entry names a benchmark and its generator.
+type Entry struct {
+	Name  string
+	Build func() *aig.Graph
+}
+
+// Get builds the named benchmark from any suite, or nil when unknown.
+func Get(name string) *aig.Graph {
+	for _, suite := range [][]Entry{ISCASArith(), ArithED(), EPFLControl(), EPFLArith(), Extra()} {
+		for _, e := range suite {
+			if e.Name == name {
+				return e.Build()
+			}
+		}
+	}
+	return nil
+}
+
+// All returns every benchmark entry across the suites, deduplicated by name.
+func All() []Entry {
+	var out []Entry
+	seen := map[string]bool{}
+	for _, suite := range [][]Entry{ISCASArith(), ArithED(), EPFLControl(), EPFLArith(), Extra()} {
+		for _, e := range suite {
+			if !seen[e.Name] {
+				seen[e.Name] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// ISCASArith is the benchmark set of Table IV: ISCAS-class control circuits
+// (seeded random substitutes with the original PI/PO profile, scaled
+// gate counts) plus the arithmetic set. Circuit widths are scaled versus
+// the paper to keep a laptop-class reproduction tractable; DESIGN.md
+// discusses why ratios are preserved.
+func ISCASArith() []Entry {
+	return []Entry{
+		{"alu4", ALU},
+		{"c880", func() *aig.Graph { return RandomControl("c880", 30, 13, 250, 880) }},
+		{"c1908", func() *aig.Graph { return RandomControl("c1908", 33, 25, 300, 1908) }},
+		{"c2670", func() *aig.Graph { return RandomControl("c2670", 40, 32, 350, 2670) }},
+		{"c3540", func() *aig.Graph { return RandomControl("c3540", 28, 22, 400, 3540) }},
+		{"c5315", func() *aig.Graph { return RandomControl("c5315", 45, 40, 450, 5315) }},
+		{"c7552", func() *aig.Graph { return RandomControl("c7552", 50, 35, 500, 7552) }},
+		{"cla32", func() *aig.Graph { return CLA(32) }},
+		{"ksa32", func() *aig.Graph { return KSA(32) }},
+		{"mtp8", func() *aig.Graph { return ArrayMult(8) }},
+		{"rca32", func() *aig.Graph { return RCA(32) }},
+		{"wal8", func() *aig.Graph { return WallaceMult(8) }},
+	}
+}
+
+// ArithED is the benchmark set of Table V (NMED constraint): the arithmetic
+// circuits whose outputs encode binary numbers.
+func ArithED() []Entry {
+	return []Entry{
+		{"cla32", func() *aig.Graph { return CLA(32) }},
+		{"ksa32", func() *aig.Graph { return KSA(32) }},
+		{"mtp8", func() *aig.Graph { return ArrayMult(8) }},
+		{"rca32", func() *aig.Graph { return RCA(32) }},
+		{"wal8", func() *aig.Graph { return WallaceMult(8) }},
+	}
+}
+
+// EPFLControl is the benchmark set of Table VI: the EPFL random/control
+// suite (generated equivalents, scaled; substitutions documented).
+func EPFLControl() []Entry {
+	return []Entry{
+		{"arbiter", func() *aig.Graph { return Arbiter(32) }},
+		{"cavlc", func() *aig.Graph { return RandomControl("cavlc", 10, 11, 180, 101) }},
+		{"ctrl", func() *aig.Graph { return RandomControl("ctrl", 7, 25, 60, 27) }},
+		{"decoder", func() *aig.Graph { return Decoder(6) }},
+		{"i2c", func() *aig.Graph { return RandomControl("i2c", 32, 30, 300, 147) }},
+		{"int2float", func() *aig.Graph { return Int2Float(11, 4, 3) }},
+		{"mem_ctrl", func() *aig.Graph { return RandomControl("mem_ctrl", 48, 40, 700, 1204) }},
+		{"priority", func() *aig.Graph { return Priority(64) }},
+		{"router", func() *aig.Graph { return RandomControl("router", 20, 12, 90, 60) }},
+		{"voter", func() *aig.Graph { return Voter(63) }},
+	}
+}
+
+// EPFLArith is the benchmark set of Table VII: the EPFL arithmetic suite
+// (generated equivalents, scaled; "hyp" is excluded exactly as in the
+// paper, which could not synthesize it within 24 hours).
+func EPFLArith() []Entry {
+	return []Entry{
+		{"adder", func() *aig.Graph { return RCA(32) }},
+		{"shifter", func() *aig.Graph { return Shifter(32) }},
+		{"divisor", func() *aig.Graph { return Divider(8) }},
+		{"log2", func() *aig.Graph { return Log2(8, 4) }},
+		{"max", func() *aig.Graph { return Max(16) }},
+		{"mult", func() *aig.Graph { return ArrayMult(8) }},
+		{"sine", func() *aig.Graph { return Sine(8) }},
+		{"sqrt", func() *aig.Graph { return Sqrt(16) }},
+		{"square", func() *aig.Graph { return Square(12) }},
+	}
+}
+
+// Extra lists additional generated circuits beyond the paper's Table III:
+// alternative adder/multiplier architectures and small control blocks that
+// broaden the library for downstream users.
+func Extra() []Entry {
+	return []Entry{
+		{"bka32", func() *aig.Graph { return BrentKung(32) }},
+		{"csa32", func() *aig.Graph { return CarrySelect(32, 4) }},
+		{"booth8", func() *aig.Graph { return Booth(8) }},
+		{"parity16", func() *aig.Graph { return Parity(16) }},
+		{"absdiff8", func() *aig.Graph { return AbsDiff(8) }},
+		{"gray8", func() *aig.Graph { return GrayEncode(8) }},
+		{"bcd7seg", SevenSeg},
+		{"cmp16", func() *aig.Graph { return Comparator(16) }},
+	}
+}

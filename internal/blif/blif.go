@@ -1,0 +1,181 @@
+// Package blif reads and writes combinational circuits in the Berkeley
+// Logic Interchange Format (BLIF), the netlist format of SIS and ABC used
+// for the paper's benchmarks, and converts between BLIF networks and AIGs.
+//
+// The supported subset is the combinational core: .model/.inputs/.outputs/
+// .names/.end, with multi-line continuation (backslash) and both on-set and
+// off-set covers. Latches and subcircuits are rejected with an error.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Row is one line of a .names cover: a pattern over the node inputs
+// ('0', '1' or '-') and the output value it asserts.
+type Row struct {
+	Pattern string
+	Value   byte // '0' or '1'
+}
+
+// Node is a .names logic node.
+type Node struct {
+	Inputs []string
+	Output string
+	Cover  []Row
+}
+
+// Network is a combinational BLIF network.
+type Network struct {
+	Name    string
+	Inputs  []string
+	Outputs []string
+	Nodes   []Node
+}
+
+// Read parses a BLIF network from r.
+func Read(r io.Reader) (*Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var logical []string
+	var pending strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteByte(' ')
+			continue
+		}
+		pending.WriteString(line)
+		logical = append(logical, pending.String())
+		pending.Reset()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	net := &Network{}
+	var cur *Node
+	flush := func() {
+		if cur != nil {
+			net.Nodes = append(net.Nodes, *cur)
+			cur = nil
+		}
+	}
+	for _, line := range logical {
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				net.Name = fields[1]
+			}
+		case ".inputs":
+			flush()
+			net.Inputs = append(net.Inputs, fields[1:]...)
+		case ".outputs":
+			flush()
+			net.Outputs = append(net.Outputs, fields[1:]...)
+		case ".names":
+			flush()
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: .names with no signals")
+			}
+			cur = &Node{
+				Inputs: fields[1 : len(fields)-1],
+				Output: fields[len(fields)-1],
+			}
+		case ".end":
+			flush()
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif: unsupported construct %s (combinational subset only)", fields[0])
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				// Ignore unknown dot-directives (e.g. .default_input_arrival).
+				continue
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: cover row outside .names: %q", line)
+			}
+			var pat string
+			var val byte
+			switch len(fields) {
+			case 1:
+				// Constant node: single output column.
+				if len(cur.Inputs) != 0 {
+					return nil, fmt.Errorf("blif: bad cover row %q", line)
+				}
+				pat, val = "", fields[0][0]
+			case 2:
+				pat, val = fields[0], fields[1][0]
+			default:
+				return nil, fmt.Errorf("blif: bad cover row %q", line)
+			}
+			if len(pat) != len(cur.Inputs) {
+				return nil, fmt.Errorf("blif: pattern %q arity mismatch for %s", pat, cur.Output)
+			}
+			if val != '0' && val != '1' {
+				return nil, fmt.Errorf("blif: bad output value in %q", line)
+			}
+			cur.Cover = append(cur.Cover, Row{Pattern: pat, Value: val})
+		}
+	}
+	flush()
+	if len(net.Inputs) == 0 && len(net.Nodes) == 0 {
+		return nil, fmt.Errorf("blif: empty network")
+	}
+	return net, nil
+}
+
+// Write emits the network in BLIF form.
+func (n *Network) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	name := n.Name
+	if name == "" {
+		name = "top"
+	}
+	fmt.Fprintf(bw, ".model %s\n", name)
+	writeSignalList(bw, ".inputs", n.Inputs)
+	writeSignalList(bw, ".outputs", n.Outputs)
+	for _, node := range n.Nodes {
+		fmt.Fprintf(bw, ".names %s %s\n", strings.Join(node.Inputs, " "), node.Output)
+		for _, row := range node.Cover {
+			if len(node.Inputs) == 0 {
+				fmt.Fprintf(bw, "%c\n", row.Value)
+			} else {
+				fmt.Fprintf(bw, "%s %c\n", row.Pattern, row.Value)
+			}
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func writeSignalList(w io.Writer, directive string, names []string) {
+	const perLine = 10
+	for i := 0; i < len(names); i += perLine {
+		end := min(i+perLine, len(names))
+		cont := ""
+		if end < len(names) {
+			cont = " \\"
+		}
+		lead := directive
+		if i > 0 {
+			lead = strings.Repeat(" ", len(directive))
+		}
+		fmt.Fprintf(w, "%s %s%s\n", lead, strings.Join(names[i:end], " "), cont)
+	}
+	if len(names) == 0 {
+		fmt.Fprintf(w, "%s\n", directive)
+	}
+}

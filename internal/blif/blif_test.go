@@ -1,0 +1,250 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/bench"
+	"repro/internal/sim"
+)
+
+const sampleBLIF = `
+# a full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b t1
+10 1
+01 1
+.names t1 cin sum
+10 1
+01 1
+.names a b t2
+11 1
+.names t1 cin t3
+11 1
+.names t2 t3 cout
+1- 1
+-1 1
+.end
+`
+
+func TestReadSample(t *testing.T) {
+	net, err := Read(strings.NewReader(sampleBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "fa" || len(net.Inputs) != 3 || len(net.Outputs) != 2 || len(net.Nodes) != 5 {
+		t.Fatalf("parsed shape wrong: %+v", net)
+	}
+	g, err := net.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify full-adder behaviour exhaustively.
+	p := sim.Exhaustive(3)
+	v := sim.Simulate(g, p)
+	for m := 0; m < 8; m++ {
+		total := m&1 + m>>1&1 + m>>2&1
+		if v.LitBit(g.PO(0), m) != (total&1 == 1) {
+			t.Fatalf("sum(%03b) wrong", m)
+		}
+		if v.LitBit(g.PO(1), m) != (total >= 2) {
+			t.Fatalf("cout(%03b) wrong", m)
+		}
+	}
+}
+
+func TestReadOffsetCover(t *testing.T) {
+	src := `
+.model nor2
+.inputs a b
+.outputs y
+.names a b y
+00 1
+.end
+`
+	net, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := net.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := sim.Simulate(g, sim.Exhaustive(2))
+	for m := 0; m < 4; m++ {
+		want := m == 0
+		if v.LitBit(g.PO(0), m) != want {
+			t.Fatalf("nor(%02b) wrong", m)
+		}
+	}
+
+	// Same function via an off-set cover.
+	src0 := strings.Replace(src, "00 1", "1- 0\n-1 0", 1)
+	net0, err := Read(strings.NewReader(src0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0, err := net0.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := sim.Simulate(g0, sim.Exhaustive(2))
+	for m := 0; m < 4; m++ {
+		if v0.LitBit(g0.PO(0), m) != (m == 0) {
+			t.Fatalf("off-set nor(%02b) wrong", m)
+		}
+	}
+}
+
+func TestReadConstants(t *testing.T) {
+	src := `
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+`
+	net, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := net.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PO(0) != aig.LitTrue || g.PO(1) != aig.LitFalse {
+		t.Fatalf("constants wrong: %v %v", g.PO(0), g.PO(1))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"latch":     ".model m\n.inputs a\n.outputs q\n.latch a q\n.end",
+		"undefined": ".model m\n.inputs a\n.outputs y\n.names a x y\n11 1\n.end",
+		"cycle":     ".model m\n.inputs a\n.outputs y\n.names y a y\n11 1\n.end",
+		"mixed":     ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end",
+		"arity":     ".model m\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end",
+	}
+	for name, src := range cases {
+		net, err := Read(strings.NewReader(src))
+		if err == nil {
+			_, err = net.ToAIG()
+		}
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	src := ".model m\n.inputs a b \\\nc d\n.outputs y\n.names a b c d y\n1111 1\n.end"
+	net, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Inputs) != 4 {
+		t.Fatalf("inputs = %v", net.Inputs)
+	}
+}
+
+// TestRoundTrip checks AIG -> BLIF -> AIG functional equivalence on real
+// generator circuits.
+func TestRoundTrip(t *testing.T) {
+	for _, name := range []string{"rca32", "mtp8", "voter", "priority", "int2float"} {
+		g := bench.Get(name)
+		if g == nil {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		var buf bytes.Buffer
+		if err := FromAIG(g).Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		net, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := net.ToAIG()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.NumPIs() != g.NumPIs() || g2.NumPOs() != g.NumPOs() {
+			t.Fatalf("%s: interface changed", name)
+		}
+		p := sim.Uniform(g.NumPIs(), 8, 11)
+		v1 := sim.Simulate(g, p)
+		v2 := sim.Simulate(g2, p)
+		for i := 0; i < g.NumPOs(); i++ {
+			a := v1.LitInto(g.PO(i), make([]uint64, p.Words))
+			b := v2.LitInto(g2.PO(i), make([]uint64, p.Words))
+			for w := range a {
+				if a[w] != b[w] {
+					t.Fatalf("%s: PO %d differs after round trip", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteReadPONameCollision(t *testing.T) {
+	// Two POs with the same requested name must be disambiguated.
+	g := aig.New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.And(a, b), "s")
+	g.AddPO(g.Or(a, b), "s")
+	var buf bytes.Buffer
+	if err := FromAIG(g).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	net, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Outputs[0] == net.Outputs[1] {
+		t.Fatalf("PO names not disambiguated: %v", net.Outputs)
+	}
+	if _, err := net.ToAIG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementedAndConstantPOs(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.And(a, b).Not(), "nand")
+	g.AddPO(aig.LitTrue, "one")
+	g.AddPO(aig.LitFalse, "zero")
+	g.AddPO(a.Not(), "nota")
+	var buf bytes.Buffer
+	if err := FromAIG(g).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	net, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := net.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.Exhaustive(2)
+	v := sim.Simulate(g2, p)
+	for m := 0; m < 4; m++ {
+		if v.LitBit(g2.PO(0), m) != !(m == 3) {
+			t.Fatalf("nand wrong at %d", m)
+		}
+		if !v.LitBit(g2.PO(1), m) || v.LitBit(g2.PO(2), m) {
+			t.Fatalf("constants wrong at %d", m)
+		}
+		if v.LitBit(g2.PO(3), m) != (m&1 == 0) {
+			t.Fatalf("nota wrong at %d", m)
+		}
+	}
+}

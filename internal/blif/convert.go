@@ -1,0 +1,190 @@
+package blif
+
+import (
+	"fmt"
+
+	"repro/internal/aig"
+)
+
+// ToAIG elaborates the network into a structurally hashed AIG. Node covers
+// become AND-OR structures; both on-set and off-set covers are supported.
+func (n *Network) ToAIG() (*aig.Graph, error) {
+	g := aig.New()
+	g.Name = n.Name
+
+	lits := make(map[string]aig.Lit, len(n.Inputs)+len(n.Nodes))
+	for _, in := range n.Inputs {
+		if _, dup := lits[in]; dup {
+			return nil, fmt.Errorf("blif: duplicate input %q", in)
+		}
+		lits[in] = g.AddPI(in)
+	}
+	byOutput := make(map[string]*Node, len(n.Nodes))
+	for i := range n.Nodes {
+		node := &n.Nodes[i]
+		if _, dup := byOutput[node.Output]; dup {
+			return nil, fmt.Errorf("blif: signal %q defined twice", node.Output)
+		}
+		byOutput[node.Output] = node
+	}
+
+	building := make(map[string]bool)
+	var resolve func(name string) (aig.Lit, error)
+	resolve = func(name string) (aig.Lit, error) {
+		if l, ok := lits[name]; ok {
+			return l, nil
+		}
+		node, ok := byOutput[name]
+		if !ok {
+			return 0, fmt.Errorf("blif: undefined signal %q", name)
+		}
+		if building[name] {
+			return 0, fmt.Errorf("blif: combinational cycle through %q", name)
+		}
+		building[name] = true
+		defer delete(building, name)
+
+		ins := make([]aig.Lit, len(node.Inputs))
+		for i, in := range node.Inputs {
+			l, err := resolve(in)
+			if err != nil {
+				return 0, err
+			}
+			ins[i] = l
+		}
+		l, err := coverLit(g, node, ins)
+		if err != nil {
+			return 0, err
+		}
+		lits[name] = l
+		return l, nil
+	}
+
+	for _, out := range n.Outputs {
+		l, err := resolve(out)
+		if err != nil {
+			return nil, err
+		}
+		g.AddPO(l, out)
+	}
+	return g, nil
+}
+
+// coverLit builds the function of a .names cover over the resolved inputs.
+func coverLit(g *aig.Graph, node *Node, ins []aig.Lit) (aig.Lit, error) {
+	if len(node.Cover) == 0 {
+		return aig.LitFalse, nil
+	}
+	val := node.Cover[0].Value
+	terms := make([]aig.Lit, 0, len(node.Cover))
+	for _, row := range node.Cover {
+		if row.Value != val {
+			return 0, fmt.Errorf("blif: mixed on/off cover for %q", node.Output)
+		}
+		prod := make([]aig.Lit, 0, len(ins))
+		for i, ch := range row.Pattern {
+			switch ch {
+			case '1':
+				prod = append(prod, ins[i])
+			case '0':
+				prod = append(prod, ins[i].Not())
+			case '-':
+			default:
+				return 0, fmt.Errorf("blif: bad pattern char %q in %q", ch, node.Output)
+			}
+		}
+		terms = append(terms, g.AndN(prod...))
+	}
+	f := g.OrN(terms...)
+	if val == '0' {
+		f = f.Not() // off-set cover: rows describe when the output is 0
+	}
+	return f, nil
+}
+
+// FromAIG converts an AIG into a BLIF network: one two-input .names node
+// per AND gate plus buffer/inverter nodes binding the primary outputs.
+func FromAIG(g *aig.Graph) *Network {
+	net := &Network{Name: g.Name}
+	used := make(map[string]bool)
+	unique := func(base string) string {
+		if base != "" && !used[base] {
+			used[base] = true
+			return base
+		}
+		for i := 0; ; i++ {
+			cand := fmt.Sprintf("%s_%d", base, i)
+			if base == "" {
+				cand = fmt.Sprintf("sig_%d", i)
+			}
+			if !used[cand] {
+				used[cand] = true
+				return cand
+			}
+		}
+	}
+
+	nodeName := make([]string, g.NumNodes())
+	for i := 0; i < g.NumPIs(); i++ {
+		pi := g.PI(i)
+		name := g.PIName(i)
+		if name == "" {
+			name = fmt.Sprintf("pi%d", i)
+		}
+		name = unique(name)
+		nodeName[pi] = name
+		net.Inputs = append(net.Inputs, name)
+	}
+	for nd := aig.Node(1); int(nd) < g.NumNodes(); nd++ {
+		if !g.IsAnd(nd) {
+			continue
+		}
+		name := unique(fmt.Sprintf("n%d", nd))
+		nodeName[nd] = name
+		f0, f1 := g.Fanin0(nd), g.Fanin1(nd)
+		pat := make([]byte, 2)
+		for i, f := range []aig.Lit{f0, f1} {
+			if f.IsCompl() {
+				pat[i] = '0'
+			} else {
+				pat[i] = '1'
+			}
+		}
+		in0, in1 := nodeName[f0.Node()], nodeName[f1.Node()]
+		net.Nodes = append(net.Nodes, Node{
+			Inputs: []string{in0, in1},
+			Output: name,
+			Cover:  []Row{{Pattern: string(pat), Value: '1'}},
+		})
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		name := g.POName(i)
+		if name == "" {
+			name = fmt.Sprintf("po%d", i)
+		}
+		name = unique(name)
+		net.Outputs = append(net.Outputs, name)
+		switch {
+		case po.Node() == 0:
+			// Constant output.
+			n := Node{Output: name}
+			if po == aig.LitTrue {
+				n.Cover = []Row{{Pattern: "", Value: '1'}}
+			}
+			net.Nodes = append(net.Nodes, n)
+		default:
+			driver := nodeName[po.Node()]
+			pat := "1"
+			if po.IsCompl() {
+				pat = "0"
+			}
+			net.Nodes = append(net.Nodes, Node{
+				Inputs: []string{driver},
+				Output: name,
+				Cover:  []Row{{Pattern: pat, Value: '1'}},
+			})
+		}
+	}
+	return net
+}

@@ -1,0 +1,86 @@
+// Package cell models a standard-cell library for ASIC technology mapping:
+// cells with a logic function (truth table), an area and a pin-to-output
+// delay. The built-in library mirrors the classic MCNC genlib used by the
+// paper's ASIC experiments (a faithful substitute: only area/delay RATIOS
+// between the compared flows matter, and both flows are mapped with the
+// same library).
+package cell
+
+import "repro/internal/tt"
+
+// Cell is one library gate.
+type Cell struct {
+	Name   string
+	NumIns int
+	// Fn is the cell function over NumIns variables (input 0 is variable 0).
+	Fn    tt.Table
+	Area  float64
+	Delay float64
+}
+
+// fn builds a table over n vars from an expression callback.
+func fn(n int, f func(m int) bool) tt.Table {
+	t := tt.New(n)
+	for m := 0; m < 1<<n; m++ {
+		if f(m) {
+			t.Set(m, true)
+		}
+	}
+	return t
+}
+
+func bit(m, i int) bool { return m>>i&1 == 1 }
+
+// MCNC returns the built-in MCNC-like library. The first cell is the
+// inverter, which mappers also use for complemented outputs and inputs.
+func MCNC() []Cell {
+	return []Cell{
+		{"inv1", 1, fn(1, func(m int) bool { return !bit(m, 0) }), 1, 0.9},
+		{"buf", 1, fn(1, func(m int) bool { return bit(m, 0) }), 2, 1.0},
+		{"nand2", 2, fn(2, func(m int) bool { return !(bit(m, 0) && bit(m, 1)) }), 1, 1.0},
+		{"nor2", 2, fn(2, func(m int) bool { return !(bit(m, 0) || bit(m, 1)) }), 1, 1.4},
+		{"and2", 2, fn(2, func(m int) bool { return bit(m, 0) && bit(m, 1) }), 2, 1.9},
+		{"or2", 2, fn(2, func(m int) bool { return bit(m, 0) || bit(m, 1) }), 2, 2.4},
+		{"xor2", 2, fn(2, func(m int) bool { return bit(m, 0) != bit(m, 1) }), 5, 1.9},
+		{"xnor2", 2, fn(2, func(m int) bool { return bit(m, 0) == bit(m, 1) }), 5, 2.1},
+		{"nand3", 3, fn(3, func(m int) bool { return !(bit(m, 0) && bit(m, 1) && bit(m, 2)) }), 2, 1.1},
+		{"nor3", 3, fn(3, func(m int) bool { return !(bit(m, 0) || bit(m, 1) || bit(m, 2)) }), 2, 2.4},
+		{"nand4", 4, fn(4, func(m int) bool { return !(bit(m, 0) && bit(m, 1) && bit(m, 2) && bit(m, 3)) }), 3, 1.4},
+		{"nor4", 4, fn(4, func(m int) bool { return !(bit(m, 0) || bit(m, 1) || bit(m, 2) || bit(m, 3)) }), 3, 3.8},
+		{"aoi21", 3, fn(3, func(m int) bool { return !(bit(m, 0) && bit(m, 1) || bit(m, 2)) }), 2, 1.6},
+		{"oai21", 3, fn(3, func(m int) bool { return !((bit(m, 0) || bit(m, 1)) && bit(m, 2)) }), 2, 1.6},
+		{"aoi22", 4, fn(4, func(m int) bool { return !(bit(m, 0) && bit(m, 1) || bit(m, 2) && bit(m, 3)) }), 3, 2.0},
+		{"oai22", 4, fn(4, func(m int) bool { return !((bit(m, 0) || bit(m, 1)) && (bit(m, 2) || bit(m, 3))) }), 3, 2.0},
+		{"mux2", 3, fn(3, func(m int) bool { // s ? a : b with s=var2
+			if bit(m, 2) {
+				return bit(m, 0)
+			}
+			return bit(m, 1)
+		}), 5, 2.0},
+		{"maj3", 3, fn(3, func(m int) bool {
+			n := 0
+			for i := 0; i < 3; i++ {
+				if bit(m, i) {
+					n++
+				}
+			}
+			return n >= 2
+		}), 4, 2.2},
+	}
+}
+
+// Inverter returns the inverter cell of a library (by convention the cell
+// named "inv1"; falls back to the first single-input cell).
+func Inverter(lib []Cell) Cell {
+	for _, c := range lib {
+		if c.Name == "inv1" {
+			return c
+		}
+	}
+	for _, c := range lib {
+		if c.NumIns == 1 {
+			return c
+		}
+	}
+	panic("cell: library has no inverter")
+}

@@ -1,0 +1,71 @@
+package cell
+
+import "testing"
+
+func TestMCNCLibraryShape(t *testing.T) {
+	lib := MCNC()
+	if len(lib) < 15 {
+		t.Fatalf("library has only %d cells", len(lib))
+	}
+	seen := map[string]bool{}
+	for _, c := range lib {
+		if seen[c.Name] {
+			t.Errorf("duplicate cell %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.NumIns < 1 || c.NumIns > 4 {
+			t.Errorf("cell %q has %d inputs", c.Name, c.NumIns)
+		}
+		if c.Fn.NumVars() != c.NumIns {
+			t.Errorf("cell %q table arity mismatch", c.Name)
+		}
+		if c.Area <= 0 || c.Delay <= 0 {
+			t.Errorf("cell %q has non-positive area/delay", c.Name)
+		}
+		if c.Fn.IsConst0() || c.Fn.IsConst1() {
+			t.Errorf("cell %q is a constant", c.Name)
+		}
+	}
+}
+
+func TestCellFunctions(t *testing.T) {
+	lib := MCNC()
+	byName := map[string]Cell{}
+	for _, c := range lib {
+		byName[c.Name] = c
+	}
+	// Spot-check a few functions minterm by minterm.
+	nand2 := byName["nand2"]
+	for m := 0; m < 4; m++ {
+		want := !(m&1 == 1 && m&2 == 2)
+		if nand2.Fn.Get(m) != want {
+			t.Errorf("nand2(%d) = %v", m, nand2.Fn.Get(m))
+		}
+	}
+	maj3 := byName["maj3"]
+	for m := 0; m < 8; m++ {
+		ones := m&1 + m>>1&1 + m>>2&1
+		if maj3.Fn.Get(m) != (ones >= 2) {
+			t.Errorf("maj3(%d) wrong", m)
+		}
+	}
+	mux2 := byName["mux2"]
+	for m := 0; m < 8; m++ {
+		a, b, s := m&1 == 1, m&2 == 2, m&4 == 4
+		want := b
+		if s {
+			want = a
+		}
+		if mux2.Fn.Get(m) != want {
+			t.Errorf("mux2(%d) wrong", m)
+		}
+	}
+}
+
+func TestInverter(t *testing.T) {
+	lib := MCNC()
+	inv := Inverter(lib)
+	if inv.Name != "inv1" || inv.Fn.Get(0) != true || inv.Fn.Get(1) != false {
+		t.Fatalf("Inverter returned %+v", inv)
+	}
+}

@@ -1,0 +1,304 @@
+// Package core implements the ALSRAC approximate logic synthesis flow
+// (Algorithm 3 of the paper): a greedy loop that, in each iteration,
+// simulates the current circuit with N random patterns to build approximate
+// care sets, generates candidate local approximate changes (LACs), ranks
+// them with the batch error estimator, applies the best one that keeps the
+// circuit within the error threshold, and re-optimizes with traditional
+// logic synthesis. The simulation round N adapts: after t consecutive
+// iterations without candidates it is scaled by r < 1, enlarging the
+// approximation space.
+//
+// The LAC generator is pluggable (see Generator); ALSRAC's approximate
+// resubstitution is the default, and the SASIMI-style generator of package
+// baseline/sasimi reuses the same loop, mirroring how the paper
+// reimplements Su's method inside a common framework.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/aig"
+	"repro/internal/errest"
+	"repro/internal/opt"
+	"repro/internal/resub"
+	"repro/internal/sim"
+)
+
+// Candidate is one local approximate change proposed by a Generator.
+type Candidate struct {
+	// Node is the node whose function the change replaces.
+	Node aig.Node
+	// Gain is the structural gain estimate in AND nodes (larger is better).
+	Gain int
+	// NewVec writes the node's replacement value vector, evaluated on the
+	// given simulation vectors of the current circuit, into out.
+	NewVec func(vecs *sim.Vectors, out []uint64)
+	// Apply substitutes the change into g and returns the new circuit.
+	Apply func(g *aig.Graph) *aig.Graph
+	// Err is filled by the flow: the estimated circuit error (against the
+	// original circuit) after applying this candidate.
+	Err float64
+}
+
+// Generator proposes candidate LACs for the current circuit, given its
+// value vectors on the care-set patterns (of which the first valid entries
+// are meaningful).
+type Generator interface {
+	Generate(g *aig.Graph, care *sim.Vectors, valid int) []Candidate
+}
+
+// ResubGenerator adapts package resub's approximate resubstitution to the
+// Generator interface — this is ALSRAC's LAC.
+type ResubGenerator struct {
+	Cfg resub.Config
+}
+
+// Generate implements Generator.
+func (rg ResubGenerator) Generate(g *aig.Graph, care *sim.Vectors, valid int) []Candidate {
+	lacs := resub.Generate(g, care, valid, rg.Cfg)
+	out := make([]Candidate, len(lacs))
+	for i := range lacs {
+		lac := lacs[i]
+		out[i] = Candidate{
+			Node:   lac.Node,
+			Gain:   lac.Gain,
+			NewVec: func(vecs *sim.Vectors, dst []uint64) { lac.EvalVec(vecs, dst) },
+			Apply:  func(g *aig.Graph) *aig.Graph { return lac.Apply(g) },
+		}
+	}
+	return out
+}
+
+// Options configures a Run. The zero value is not useful; start from
+// DefaultOptions.
+type Options struct {
+	Metric    errest.Metric
+	Threshold float64 // error threshold Et
+
+	InitialRounds   int     // initial care-set simulation rounds N (paper: 32)
+	MaxDivisors     int     // divisor-set size cap (paper: 2; ≥3 enables the triple extension)
+	MaxLACsPerNode  int     // LAC limit per node L (paper: 1)
+	Patience        int     // controlling parameter t (paper: 5)
+	Scale           float64 // scaling factor r (paper: 0.9)
+	MaxReplaceTries int     // cap on divisor replacements tried per fanin (0 = unbounded)
+
+	EvalPatterns int   // Monte-Carlo pattern budget for error evaluation
+	Seed         int64 // base seed; every iteration derives fresh patterns
+
+	// Patterns supplies input stimuli with n valid patterns for the given
+	// seed; it is used both for error evaluation and for the per-iteration
+	// care-set simulation. nil means uniformly distributed inputs — the
+	// paper's experimental setup; any other distribution (biased,
+	// correlated) can be plugged in, as the paper's method allows.
+	Patterns func(nPIs, n int, seed int64) *sim.Patterns
+
+	// MaxStall bounds consecutive iterations without an applied change
+	// before giving up (termination guard; the paper relies on N shrinking).
+	MaxStall int
+	// MaxDepthRatio, when positive, rejects changes that would leave the
+	// (re-optimized) circuit deeper than this ratio times the original
+	// depth — a delay-constrained mode in the spirit of the paper's
+	// "map -D <original delay>" mapping setup. 0 disables the check.
+	MaxDepthRatio float64
+	// SkipOptimize disables the traditional re-optimization between
+	// iterations (ablation knob; the paper always optimizes).
+	SkipOptimize bool
+	// UseEspresso selects the Espresso-style cover minimizer for
+	// resubstitution functions instead of plain ISOP (the paper's tooling).
+	UseEspresso bool
+	// Generator overrides the LAC generator; nil means ALSRAC resubstitution.
+	Generator Generator
+
+	// Verbose, when non-nil, receives progress lines.
+	Verbose func(format string, args ...any)
+}
+
+// DefaultOptions returns the paper's experiment parameters (Section IV-A):
+// N=32, L=1, t=5, r=0.9. The evaluation pattern budget defaults to 8192
+// (the paper uses 10^7 rounds on a workstation; this is a pure accuracy/
+// runtime knob of the same Monte-Carlo estimator).
+func DefaultOptions(metric errest.Metric, threshold float64) Options {
+	return Options{
+		Metric:         metric,
+		Threshold:      threshold,
+		InitialRounds:  32,
+		MaxDivisors:    2,
+		MaxLACsPerNode: 1,
+		Patience:       5,
+		Scale:          0.9,
+		EvalPatterns:   8192,
+		Seed:           1,
+		MaxStall:       60,
+	}
+}
+
+// IterRecord traces one flow iteration.
+type IterRecord struct {
+	Iteration  int
+	Rounds     int     // care-set rounds N in effect
+	Candidates int     // LACs generated
+	Applied    bool    // whether a LAC was applied
+	Err        float64 // cumulative error after the iteration
+	Ands       int     // AND count after the iteration
+}
+
+// Result is the outcome of a Run.
+type Result struct {
+	Graph      *aig.Graph // the approximate circuit (already swept/optimized)
+	FinalError float64    // measured on the evaluation pattern set
+	Iterations int
+	Applied    int // number of LACs applied
+	History    []IterRecord
+}
+
+// Run executes the ALSRAC flow on circuit g and returns an approximate
+// circuit whose estimated error does not exceed opts.Threshold. g itself is
+// not modified.
+func Run(g *aig.Graph, opts Options) Result {
+	if opts.Generator == nil {
+		opts.Generator = ResubGenerator{Cfg: resub.Config{
+			MaxLACsPerNode:  opts.MaxLACsPerNode,
+			MaxReplaceTries: opts.MaxReplaceTries,
+			MaxDivisors:     opts.MaxDivisors,
+			UseEspresso:     opts.UseEspresso,
+		}}
+	}
+	logf := opts.Verbose
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	if opts.Patterns == nil {
+		opts.Patterns = sim.UniformN
+	}
+	nEval := opts.EvalPatterns
+	if nEval < 64 {
+		nEval = 64
+	}
+	evalPats := opts.Patterns(g.NumPIs(), nEval, opts.Seed)
+	ev := errest.NewEvaluator(g, evalPats, opts.Metric)
+
+	cur := g.Sweep()
+	best := cur // smallest circuit seen; error grows monotonically
+	depthCap := 0
+	if opts.MaxDepthRatio > 0 {
+		depthCap = int(opts.MaxDepthRatio * float64(cur.Depth()))
+	}
+	res := Result{}
+	n := opts.InitialRounds
+	streak := 0 // consecutive iterations with an empty candidate set
+	stall := 0  // consecutive iterations without an applied LAC
+	curErr := 0.0
+
+	for curErr <= opts.Threshold && stall < opts.MaxStall {
+		res.Iterations++
+		iterSeed := opts.Seed + int64(res.Iterations)*7919
+
+		care := opts.Patterns(cur.NumPIs(), n, iterSeed)
+		vecs := sim.Simulate(cur, care)
+		cands := opts.Generator.Generate(cur, vecs, care.Valid)
+
+		rec := IterRecord{Iteration: res.Iterations, Rounds: n, Candidates: len(cands)}
+		if len(cands) == 0 {
+			streak++
+			stall++
+			if streak >= opts.Patience {
+				n = int(float64(n) * opts.Scale)
+				if n < 1 {
+					n = 1
+				}
+				streak = 0
+				logf("iter %d: no LACs for %d rounds, shrinking N to %d", res.Iterations, opts.Patience, n)
+			}
+			rec.Err, rec.Ands = curErr, cur.NumAnds()
+			res.History = append(res.History, rec)
+			continue
+		}
+		streak = 0
+
+		bestCand := rankCandidates(ev, cur, evalPats, cands)
+		if bestCand.Err > opts.Threshold {
+			// Algorithm 3, line 7: even the best candidate violates the
+			// threshold — the flow terminates.
+			rec.Err, rec.Ands = curErr, cur.NumAnds()
+			res.History = append(res.History, rec)
+			break
+		}
+
+		prevAnds := cur.NumAnds()
+		prevErr := curErr
+		cand := bestCand.Apply(cur)
+		if !opts.SkipOptimize {
+			cand = opt.Optimize(cand)
+		} else {
+			cand = cand.Sweep()
+		}
+		if depthCap > 0 && cand.Depth() > depthCap {
+			// Delay-constrained mode: drop this change and try again with
+			// fresh patterns next iteration.
+			stall++
+			rec.Err, rec.Ands = curErr, cur.NumAnds()
+			res.History = append(res.History, rec)
+			continue
+		}
+		cur = cand
+		curErr = bestCand.Err
+		res.Applied++
+		if cur.NumAnds() >= prevAnds && curErr == prevErr {
+			// The change neither shrank the circuit nor consumed error
+			// budget: count it toward the stall guard so a cycle of
+			// zero-progress changes cannot loop forever.
+			stall++
+		} else {
+			stall = 0
+		}
+		if cur.NumAnds() < best.NumAnds() {
+			best = cur
+		}
+		rec.Applied, rec.Err, rec.Ands = true, curErr, cur.NumAnds()
+		res.History = append(res.History, rec)
+		logf("iter %d: applied LAC at node %d, err %.5g, ands %d",
+			res.Iterations, bestCand.Node, curErr, cur.NumAnds())
+	}
+
+	// Return the smallest circuit observed. Error is cumulative and
+	// non-decreasing, so every snapshot satisfies the threshold; later
+	// zero-gain trades must not be allowed to worsen the result.
+	res.Graph = best
+	res.FinalError = ev.EvalGraph(best, evalPats)
+	return res
+}
+
+// rankCandidates estimates the error of every candidate with the batch
+// estimator and returns the best one (smallest error, then largest gain),
+// or nil when there are no candidates.
+func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, cands []Candidate) *Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	batch := errest.NewBatch(ev, cur, evalPats)
+	vecs := batch.Vectors()
+	buf := make([]uint64, vecs.Words)
+
+	// Group candidates by node so each node's fanout cone is re-simulated
+	// once (the batch estimation trick).
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Node < cands[j].Node })
+	var prepared aig.Node = -1
+	for i := range cands {
+		c := &cands[i]
+		if c.Node != prepared {
+			batch.Prepare(c.Node)
+			prepared = c.Node
+		}
+		c.NewVec(vecs, buf)
+		c.Err = batch.EvalCandidate(c.Node, buf)
+	}
+	best := &cands[0]
+	for i := 1; i < len(cands); i++ {
+		c := &cands[i]
+		if c.Err < best.Err || (c.Err == best.Err && c.Gain > best.Gain) {
+			best = c
+		}
+	}
+	return best
+}

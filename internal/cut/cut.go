@@ -1,0 +1,209 @@
+// Package cut implements k-feasible cut enumeration over AIGs with
+// dominance pruning and per-node priority lists, plus cut-function
+// computation as truth tables. It is shared by the AIG rewriter (package
+// opt) and the technology mappers (package mapper).
+package cut
+
+import (
+	"sort"
+
+	"repro/internal/aig"
+	"repro/internal/tt"
+)
+
+// Cut is a set of leaf nodes that cuts the cone of a root node: every path
+// from a PI to the root passes through a leaf. Leaves are sorted by id.
+type Cut struct {
+	Leaves []aig.Node
+}
+
+// Size returns the number of leaves.
+func (c *Cut) Size() int { return len(c.Leaves) }
+
+// IsTrivial reports whether the cut is the node's own trivial cut {n}.
+func (c *Cut) IsTrivial(n aig.Node) bool {
+	return len(c.Leaves) == 1 && c.Leaves[0] == n
+}
+
+// dominates reports whether c is a subset of d (then d is redundant).
+func (c *Cut) dominates(d *Cut) bool {
+	if len(c.Leaves) > len(d.Leaves) {
+		return false
+	}
+	i := 0
+	for _, l := range c.Leaves {
+		for i < len(d.Leaves) && d.Leaves[i] < l {
+			i++
+		}
+		if i == len(d.Leaves) || d.Leaves[i] != l {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// mergeLeaves unions two sorted leaf sets, returning nil if the union
+// exceeds k leaves.
+func mergeLeaves(a, b []aig.Node, k int) []aig.Node {
+	out := make([]aig.Node, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var next aig.Node
+		switch {
+		case i == len(a):
+			next = b[j]
+			j++
+		case j == len(b):
+			next = a[i]
+			i++
+		case a[i] < b[j]:
+			next = a[i]
+			i++
+		case a[i] > b[j]:
+			next = b[j]
+			j++
+		default:
+			next = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil
+		}
+		out = append(out, next)
+	}
+	return out
+}
+
+// Config controls enumeration.
+type Config struct {
+	K       int // maximum leaves per cut
+	PerNode int // maximum stored cuts per node (the trivial cut is extra)
+}
+
+// DefaultConfig matches a typical rewriting setup: 4-input cuts, 8 per node.
+func DefaultConfig() Config { return Config{K: 4, PerNode: 8} }
+
+// Sets holds the enumerated cuts of every node.
+type Sets struct {
+	cfg  Config
+	cuts [][]Cut
+}
+
+// Cuts returns the stored cuts of node n, including the trivial cut (always
+// first) for AND nodes and PIs.
+func (s *Sets) Cuts(n aig.Node) []Cut { return s.cuts[n] }
+
+// K returns the cut size limit used during enumeration.
+func (s *Sets) K() int { return s.cfg.K }
+
+// Enumerate computes priority cuts for every node of g. Per AND node it
+// keeps the trivial cut plus up to cfg.PerNode merged cuts, pruning
+// dominated cuts and preferring smaller ones.
+func Enumerate(g *aig.Graph, cfg Config) *Sets {
+	s := &Sets{cfg: cfg, cuts: make([][]Cut, g.NumNodes())}
+	for i := 0; i < g.NumPIs(); i++ {
+		pi := g.PI(i)
+		s.cuts[pi] = []Cut{{Leaves: []aig.Node{pi}}}
+	}
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		c0 := s.cuts[g.Fanin0(n).Node()]
+		c1 := s.cuts[g.Fanin1(n).Node()]
+		var merged []Cut
+		for i := range c0 {
+			for j := range c1 {
+				leaves := mergeLeaves(c0[i].Leaves, c1[j].Leaves, cfg.K)
+				if leaves == nil {
+					continue
+				}
+				merged = addCut(merged, Cut{Leaves: leaves})
+			}
+		}
+		sort.SliceStable(merged, func(i, j int) bool {
+			return len(merged[i].Leaves) < len(merged[j].Leaves)
+		})
+		if len(merged) > cfg.PerNode {
+			merged = merged[:cfg.PerNode]
+		}
+		// The trivial cut goes first so consumers can skip it easily.
+		s.cuts[n] = append([]Cut{{Leaves: []aig.Node{n}}}, merged...)
+	}
+	return s
+}
+
+// addCut inserts c into list unless it is dominated; cuts dominated by c
+// are removed.
+func addCut(list []Cut, c Cut) []Cut {
+	for i := range list {
+		if list[i].dominates(&c) {
+			return list
+		}
+	}
+	out := list[:0]
+	for i := range list {
+		if !c.dominates(&list[i]) {
+			out = append(out, list[i])
+		}
+	}
+	return append(out, c)
+}
+
+// Table computes the function of root in terms of the cut leaves as a truth
+// table (leaf i is variable i). The cut must actually cut root's cone.
+func Table(g *aig.Graph, root aig.Node, leaves []aig.Node) tt.Table {
+	n := len(leaves)
+	memo := make(map[aig.Node]tt.Table, 16)
+	for i, l := range leaves {
+		memo[l] = tt.Var(n, i)
+	}
+	var eval func(aig.Node) tt.Table
+	eval = func(nd aig.Node) tt.Table {
+		if t, ok := memo[nd]; ok {
+			return t
+		}
+		if nd == 0 {
+			return tt.New(n)
+		}
+		if !g.IsAnd(nd) {
+			panic("cut: leaves do not cut the cone")
+		}
+		f0, f1 := g.Fanin0(nd), g.Fanin1(nd)
+		t0 := eval(f0.Node())
+		if f0.IsCompl() {
+			t0 = t0.Not()
+		}
+		t1 := eval(f1.Node())
+		if f1.IsCompl() {
+			t1 = t1.Not()
+		}
+		t := t0.And(t1)
+		memo[nd] = t
+		return t
+	}
+	return eval(root)
+}
+
+// Volume returns the number of AND nodes strictly inside the cut cone
+// (between the leaves and the root, root included).
+func Volume(g *aig.Graph, root aig.Node, leaves []aig.Node) int {
+	inLeaves := make(map[aig.Node]bool, len(leaves))
+	for _, l := range leaves {
+		inLeaves[l] = true
+	}
+	seen := map[aig.Node]bool{}
+	var walk func(aig.Node)
+	walk = func(nd aig.Node) {
+		if seen[nd] || inLeaves[nd] || !g.IsAnd(nd) {
+			return
+		}
+		seen[nd] = true
+		walk(g.Fanin0(nd).Node())
+		walk(g.Fanin1(nd).Node())
+	}
+	walk(root)
+	return len(seen)
+}

@@ -1,0 +1,186 @@
+package cut
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/sim"
+	"repro/internal/tt"
+)
+
+func TestMergeLeaves(t *testing.T) {
+	a := []aig.Node{1, 3, 5}
+	b := []aig.Node{2, 3, 6}
+	got := mergeLeaves(a, b, 5)
+	want := []aig.Node{1, 2, 3, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("merge = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+	if mergeLeaves(a, b, 4) != nil {
+		t.Fatalf("expected overflow to return nil")
+	}
+	if got := mergeLeaves(a, a, 3); len(got) != 3 {
+		t.Fatalf("self merge = %v", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	c := Cut{Leaves: []aig.Node{1, 2}}
+	d := Cut{Leaves: []aig.Node{1, 2, 3}}
+	e := Cut{Leaves: []aig.Node{1, 4}}
+	if !c.dominates(&d) {
+		t.Errorf("subset must dominate")
+	}
+	if d.dominates(&c) {
+		t.Errorf("superset must not dominate")
+	}
+	if c.dominates(&e) || e.dominates(&c) {
+		t.Errorf("incomparable cuts must not dominate")
+	}
+	if !c.dominates(&c) {
+		t.Errorf("cut must dominate itself")
+	}
+}
+
+func buildTestCircuit() (*aig.Graph, []aig.Lit, aig.Lit) {
+	g := aig.New()
+	xs := g.AddPIs(4, "x")
+	f := g.Or(g.And(xs[0], xs[1]), g.And(xs[2], xs[3]))
+	g.AddPO(f, "f")
+	return g, xs, f
+}
+
+func TestEnumerateBasics(t *testing.T) {
+	g, xs, f := buildTestCircuit()
+	s := Enumerate(g, DefaultConfig())
+	// PIs have only the trivial cut.
+	piCuts := s.Cuts(xs[0].Node())
+	if len(piCuts) != 1 || !piCuts[0].IsTrivial(xs[0].Node()) {
+		t.Fatalf("PI cuts = %v", piCuts)
+	}
+	// Root must include the 4-leaf PI cut.
+	root := f.Node()
+	found := false
+	for _, c := range s.Cuts(root) {
+		if c.Size() == 4 {
+			all := true
+			for i, l := range c.Leaves {
+				if l != xs[i].Node() {
+					all = false
+				}
+			}
+			if all {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("root cuts missing the full PI cut: %v", s.Cuts(root))
+	}
+	// First cut must be trivial.
+	if !s.Cuts(root)[0].IsTrivial(root) {
+		t.Fatalf("first cut is not trivial")
+	}
+}
+
+func TestEnumerateRespectsK(t *testing.T) {
+	g := aig.New()
+	xs := g.AddPIs(8, "x")
+	f := g.AndN(xs...)
+	g.AddPO(f, "f")
+	s := Enumerate(g, Config{K: 3, PerNode: 16})
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		for _, c := range s.Cuts(n) {
+			if c.Size() > 3 && !c.IsTrivial(n) {
+				t.Fatalf("node %d has oversized cut %v", n, c)
+			}
+		}
+	}
+}
+
+func TestNoDominatedCutsStored(t *testing.T) {
+	g, _, _ := buildTestCircuit()
+	s := Enumerate(g, DefaultConfig())
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		cuts := s.Cuts(n)
+		for i := 1; i < len(cuts); i++ { // skip trivial
+			for j := 1; j < len(cuts); j++ {
+				if i != j && cuts[i].dominates(&cuts[j]) {
+					t.Fatalf("node %d stores dominated cut %v (by %v)", n, cuts[j], cuts[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCutTableMatchesSimulation(t *testing.T) {
+	// The cut function computed symbolically must agree with bit-parallel
+	// simulation for every cut of every node.
+	g := aig.New()
+	xs := g.AddPIs(5, "x")
+	n1 := g.Xor(xs[0], xs[1])
+	n2 := g.Mux(xs[2], n1, xs[3])
+	n3 := g.Or(n2, g.And(xs[4], n1))
+	g.AddPO(n3, "f")
+
+	p := sim.Exhaustive(5)
+	vecs := sim.Simulate(g, p)
+	s := Enumerate(g, Config{K: 4, PerNode: 12})
+
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		for _, c := range s.Cuts(n) {
+			if c.IsTrivial(n) {
+				continue
+			}
+			tab := Table(g, n, c.Leaves)
+			// Check on all 32 PI patterns: the node value must equal the
+			// table row selected by the leaf values.
+			for m := 0; m < 32; m++ {
+				row := 0
+				for i, l := range c.Leaves {
+					if vecs.LitBit(aig.MakeLit(l, false), m) {
+						row |= 1 << uint(i)
+					}
+				}
+				want := vecs.LitBit(aig.MakeLit(n, false), m)
+				if tab.Get(row) != want {
+					t.Fatalf("node %d cut %v: table disagrees at pattern %d", n, c.Leaves, m)
+				}
+			}
+		}
+	}
+}
+
+func TestCutTableTrivial(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	f := g.And(a, b.Not())
+	tab := Table(g, f.Node(), []aig.Node{a.Node(), b.Node()})
+	want := tt.Var(2, 0).And(tt.Var(2, 1).Not())
+	if !tab.Equal(want) {
+		t.Fatalf("table = %v, want %v", tab, want)
+	}
+}
+
+func TestVolume(t *testing.T) {
+	g, xs, f := buildTestCircuit()
+	leaves := []aig.Node{xs[0].Node(), xs[1].Node(), xs[2].Node(), xs[3].Node()}
+	if v := Volume(g, f.Node(), leaves); v != 3 {
+		t.Fatalf("volume = %d, want 3", v)
+	}
+	// Volume with an internal leaf.
+	and01 := g.And(xs[0], xs[1])
+	leaves2 := []aig.Node{and01.Node(), xs[2].Node(), xs[3].Node()}
+	if v := Volume(g, f.Node(), leaves2); v != 2 {
+		t.Fatalf("volume = %d, want 2", v)
+	}
+}

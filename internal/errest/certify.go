@@ -1,0 +1,57 @@
+package errest
+
+import "math"
+
+// Certification implements the statistical-guarantee side of
+// simulation-based error measurement (the "statistically certified"
+// ingredient of Liu & Zhang's ALS): Monte-Carlo estimates come with a
+// one-sided Hoeffding confidence bound.
+//
+// For n i.i.d. samples of a per-pattern error variable bounded in [0, R],
+// Hoeffding's inequality gives
+//
+//	P( true mean ≥ observed + ε ) ≤ exp(−2·n·ε²/R²),
+//
+// so with confidence 1−δ the true metric is below observed + R·sqrt(ln(1/δ)/(2n)).
+//
+// The per-pattern variable is bounded by R=1 for ER (an indicator) and for
+// NMED (error distance normalized by the maximum output value). For MRED
+// the relative error distance of a single pattern is unbounded in general;
+// Range lets callers supply a domain bound (MaxRED) when one is known.
+
+// UpperBound returns the one-sided (1−δ)-confidence upper bound for a
+// metric observed as `observed` over n samples of a per-pattern variable
+// bounded in [0, rang].
+func UpperBound(observed float64, n int, rang, delta float64) float64 {
+	if n <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	eps := rang * math.Sqrt(math.Log(1/delta)/(2*float64(n)))
+	return observed + eps
+}
+
+// SamplesFor returns the number of Monte-Carlo samples needed so that the
+// Hoeffding margin at confidence 1−δ is at most eps for a per-pattern
+// variable bounded in [0, rang].
+func SamplesFor(eps, rang, delta float64) int {
+	if eps <= 0 {
+		return math.MaxInt32
+	}
+	n := rang * rang * math.Log(1/delta) / (2 * eps * eps)
+	return int(math.Ceil(n))
+}
+
+// CertifiedUpperBound returns the (1−δ)-confidence upper bound for this
+// evaluator's metric given an observed value on its pattern set. For MRED
+// the per-pattern range defaults to 1, which is only valid when relative
+// errors cannot exceed 100%; use UpperBound directly with a domain bound
+// otherwise.
+func (e *Evaluator) CertifiedUpperBound(observed, delta float64) float64 {
+	return UpperBound(observed, e.nPat, 1, delta)
+}
+
+// Certify reports whether the observed error is below the threshold with
+// confidence 1−δ.
+func (e *Evaluator) Certify(observed, threshold, delta float64) bool {
+	return e.CertifiedUpperBound(observed, delta) <= threshold
+}

@@ -1,0 +1,192 @@
+// Package errest implements the error metrics of approximate logic
+// synthesis (error rate, normalized mean error distance, mean relative
+// error distance) and the batch local-approximate-change error estimator of
+// Su et al. (DAC 2018) that ALSRAC uses to rank candidate changes.
+//
+// All measurements are Monte-Carlo estimates over a fixed, seeded pattern
+// set, exactly as in the paper (which uses 10^7 simulation rounds; the
+// pattern budget here is a knob). Golden values always come from the
+// ORIGINAL circuit, so errors are cumulative across applied changes.
+package errest
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/aig"
+	"repro/internal/sim"
+)
+
+// Metric identifies an error metric.
+type Metric int
+
+// The metrics used in the paper's evaluation.
+const (
+	// ER is the error rate: the probability that at least one primary
+	// output differs from the exact circuit.
+	ER Metric = iota
+	// NMED is the mean error distance normalized by the maximum output
+	// value 2^O−1, with outputs read as an unsigned binary number (PO 0 is
+	// the least significant bit).
+	NMED
+	// MRED is the mean of |ŷ−y| / max(y,1).
+	MRED
+)
+
+// String returns the conventional abbreviation of the metric.
+func (m Metric) String() string {
+	switch m {
+	case ER:
+		return "ER"
+	case NMED:
+		return "NMED"
+	case MRED:
+		return "MRED"
+	}
+	return fmt.Sprintf("Metric(%d)", int(m))
+}
+
+// Evaluator measures the error of approximate primary-output words against
+// golden outputs captured from the original circuit on a fixed pattern set.
+type Evaluator struct {
+	metric Metric
+	words  int
+	nPOs   int
+	nPat   int
+
+	golden [][]uint64 // golden PO words, one slice per PO
+	// goldenVal[p] is the golden output value of pattern p (value metrics
+	// only, computed lazily at construction).
+	goldenVal []uint64
+	maxVal    float64
+}
+
+// NewEvaluator simulates the exact circuit g on the given patterns and
+// returns an evaluator for the chosen metric. For the value metrics (NMED,
+// MRED) the circuit must have at most 64 primary outputs; wider outputs are
+// outside the supported encoding (the paper's arithmetic benchmarks fit).
+func NewEvaluator(g *aig.Graph, p *sim.Patterns, metric Metric) *Evaluator {
+	v := sim.Simulate(g, p)
+	return NewEvaluatorFromWords(sim.POWords(g, v), p.Words, metric)
+}
+
+// NewEvaluatorFromWords builds an evaluator directly from golden PO words.
+func NewEvaluatorFromWords(golden [][]uint64, words int, metric Metric) *Evaluator {
+	e := &Evaluator{
+		metric: metric,
+		words:  words,
+		nPOs:   len(golden),
+		nPat:   64 * words,
+		golden: golden,
+	}
+	if metric != ER {
+		if e.nPOs > 64 {
+			panic("errest: value metrics support at most 64 outputs")
+		}
+		e.goldenVal = make([]uint64, e.nPat)
+		transposeValues(golden, words, e.goldenVal)
+		e.maxVal = math.Pow(2, float64(e.nPOs)) - 1
+	}
+	return e
+}
+
+// Metric returns the metric this evaluator computes.
+func (e *Evaluator) Metric() Metric { return e.metric }
+
+// Words returns the pattern word count.
+func (e *Evaluator) Words() int { return e.words }
+
+// NumPatterns returns the number of evaluation patterns.
+func (e *Evaluator) NumPatterns() int { return e.nPat }
+
+// EvalPOWords computes the metric for the given approximate PO words.
+func (e *Evaluator) EvalPOWords(approx [][]uint64) float64 {
+	if len(approx) != e.nPOs {
+		panic("errest: PO count mismatch")
+	}
+	switch e.metric {
+	case ER:
+		return e.errorRate(approx)
+	case NMED:
+		return e.meanED(approx, false)
+	case MRED:
+		return e.meanED(approx, true)
+	}
+	panic("errest: unknown metric")
+}
+
+// EvalGraph simulates an approximate circuit on the evaluator's patterns
+// and returns its error. The circuit must have the same PI/PO interface as
+// the original.
+func (e *Evaluator) EvalGraph(g *aig.Graph, p *sim.Patterns) float64 {
+	v := sim.Simulate(g, p)
+	return e.EvalPOWords(sim.POWords(g, v))
+}
+
+func (e *Evaluator) errorRate(approx [][]uint64) float64 {
+	bad := 0
+	for w := 0; w < e.words; w++ {
+		var acc uint64
+		for o := 0; o < e.nPOs; o++ {
+			acc |= approx[o][w] ^ e.golden[o][w]
+		}
+		bad += bits.OnesCount64(acc)
+	}
+	return float64(bad) / float64(e.nPat)
+}
+
+func (e *Evaluator) meanED(approx [][]uint64, relative bool) float64 {
+	vals := make([]uint64, 64)
+	sum := 0.0
+	for w := 0; w < e.words; w++ {
+		transposeWord(approx, w, vals)
+		base := w * 64
+		for b := 0; b < 64; b++ {
+			y := e.goldenVal[base+b]
+			yhat := vals[b]
+			var ed float64
+			if yhat >= y {
+				ed = float64(yhat - y)
+			} else {
+				ed = float64(y - yhat)
+			}
+			if relative {
+				den := float64(y)
+				if den < 1 {
+					den = 1
+				}
+				ed /= den
+			}
+			sum += ed
+		}
+	}
+	mean := sum / float64(e.nPat)
+	if relative {
+		return mean
+	}
+	return mean / e.maxVal
+}
+
+// transposeValues converts PO word slices into per-pattern output values.
+func transposeValues(po [][]uint64, words int, out []uint64) {
+	vals := make([]uint64, 64)
+	for w := 0; w < words; w++ {
+		transposeWord(po, w, vals)
+		copy(out[w*64:], vals)
+	}
+}
+
+// transposeWord extracts the 64 output values encoded in word index w of
+// the PO slices: vals[b] has bit o equal to bit b of po[o][w].
+func transposeWord(po [][]uint64, w int, vals []uint64) {
+	for b := range vals {
+		vals[b] = 0
+	}
+	for o, pw := range po {
+		word := pw[w]
+		for ; word != 0; word &= word - 1 {
+			vals[bits.TrailingZeros64(word)] |= 1 << uint(o)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package espresso implements a truth-table-backed two-level logic
+// minimizer in the style of Espresso: starting from an initial irredundant
+// cover, it iterates EXPAND (grow cubes toward primes against the off-set),
+// IRREDUNDANT (drop covered cubes) and REDUCE (shrink cubes to open new
+// expansion directions) until the cover cost stops improving.
+//
+// The paper derives its approximate resubstitution functions with Espresso;
+// this package provides the same service for the small (≤16-input)
+// incompletely specified functions that arise there, with exact containment
+// checks done on bit-parallel truth tables.
+package espresso
+
+import (
+	"repro/internal/tt"
+)
+
+// Cost summarizes a cover: cube count first, literal count second.
+type Cost struct {
+	Cubes    int
+	Literals int
+}
+
+// Less orders costs lexicographically (fewer cubes, then fewer literals).
+func (c Cost) Less(o Cost) bool {
+	if c.Cubes != o.Cubes {
+		return c.Cubes < o.Cubes
+	}
+	return c.Literals < o.Literals
+}
+
+// CoverCost computes the cost of a cover.
+func CoverCost(cov tt.Cover) Cost {
+	return Cost{Cubes: len(cov), Literals: cov.NumLits()}
+}
+
+// Minimize returns a minimized cover F with on ⊆ F ⊆ on ∪ dc. on and dc
+// must be disjoint tables over the same variables.
+func Minimize(on, dc tt.Table) tt.Cover {
+	n := on.NumVars()
+	upper := on.Or(dc)
+	cov := tt.ISOP(on, dc)
+	best := append(tt.Cover(nil), cov...)
+	bestCost := CoverCost(best)
+
+	for iter := 0; iter < 8; iter++ {
+		cov = expand(cov, upper, n)
+		cov = irredundant(cov, on, n)
+		cost := CoverCost(cov)
+		if cost.Less(bestCost) {
+			best = append(tt.Cover(nil), cov...)
+			bestCost = cost
+		}
+		reduced := reduce(cov, on, n)
+		if coversEqual(reduced, cov) {
+			break
+		}
+		cov = reduced
+	}
+	return best
+}
+
+// expand greedily removes literals from each cube while the cube stays
+// inside the upper bound (onset ∪ dcset).
+func expand(cov tt.Cover, upper tt.Table, n int) tt.Cover {
+	out := make(tt.Cover, 0, len(cov))
+	for _, c := range cov {
+		for v := 0; v < n; v++ {
+			bit := uint32(1) << uint(v)
+			if c.Pos&bit == 0 && c.Neg&bit == 0 {
+				continue
+			}
+			enlarged := c
+			enlarged.Pos &^= bit
+			enlarged.Neg &^= bit
+			if enlarged.Table(n).AndNot(upper).IsConst0() {
+				c = enlarged
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// irredundant removes cubes whose onset contribution is covered by the
+// remaining cubes, scanning largest cubes last so specific cubes are
+// preferred for removal.
+func irredundant(cov tt.Cover, on tt.Table, n int) tt.Cover {
+	out := append(tt.Cover(nil), cov...)
+	for i := 0; i < len(out); i++ {
+		rest := make(tt.Cover, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		if on.AndNot(rest.Table(n)).IsConst0() {
+			out = rest
+			i--
+		}
+	}
+	return out
+}
+
+// reduce shrinks every cube to the supercube of the onset part only it
+// covers, dropping cubes that cover nothing exclusively. Cubes are updated
+// sequentially against the current (partially reduced) cover so the cover
+// as a whole keeps covering the onset.
+func reduce(cov tt.Cover, on tt.Table, n int) tt.Cover {
+	out := append(tt.Cover(nil), cov...)
+	for i := 0; i < len(out); i++ {
+		rest := make(tt.Cover, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		needed := out[i].Table(n).And(on).AndNot(rest.Table(n))
+		if needed.IsConst0() {
+			out = rest
+			i--
+			continue
+		}
+		out[i] = supercube(needed, n)
+	}
+	return out
+}
+
+// supercube returns the smallest cube containing all minterms of t.
+func supercube(t tt.Table, n int) tt.Cube {
+	var c tt.Cube
+	for v := 0; v < n; v++ {
+		x := tt.Var(n, v)
+		if t.AndNot(x).IsConst0() {
+			c = c.WithPos(v) // all minterms have x_v = 1
+		} else if t.And(x).IsConst0() {
+			c = c.WithNeg(v) // all minterms have x_v = 0
+		}
+	}
+	return c
+}
+
+func coversEqual(a, b tt.Cover) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

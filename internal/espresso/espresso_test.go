@@ -1,0 +1,168 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tt"
+)
+
+func randomTable(rng *rand.Rand, n int) tt.Table {
+	t := tt.New(n)
+	for m := 0; m < 1<<n; m++ {
+		if rng.Intn(2) == 1 {
+			t.Set(m, true)
+		}
+	}
+	return t
+}
+
+func TestMinimizeInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(7)
+		on := randomTable(rng, n)
+		dc := randomTable(rng, n).AndNot(on)
+		cov := Minimize(on, dc)
+		f := cov.Table(n)
+		if !on.AndNot(f).IsConst0() {
+			t.Fatalf("trial %d: onset not covered", trial)
+		}
+		if !f.AndNot(on.Or(dc)).IsConst0() {
+			t.Fatalf("trial %d: cover leaves the interval", trial)
+		}
+	}
+}
+
+func TestMinimizeNeverWorseThanISOP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		on := randomTable(rng, n)
+		dc := randomTable(rng, n).AndNot(on)
+		isop := tt.ISOP(on, dc)
+		mini := Minimize(on, dc)
+		if CoverCost(mini).Cubes > CoverCost(isop).Cubes {
+			t.Fatalf("trial %d: espresso (%d cubes) worse than ISOP (%d cubes)",
+				trial, len(mini), len(isop))
+		}
+	}
+}
+
+func TestMinimizeKnownFunctions(t *testing.T) {
+	// Majority of 3: 3 cubes of 2 literals is optimal.
+	n := 3
+	maj := tt.New(n)
+	for m := 0; m < 8; m++ {
+		if m&1+m>>1&1+m>>2&1 >= 2 {
+			maj.Set(m, true)
+		}
+	}
+	cov := Minimize(maj, tt.New(n))
+	if len(cov) != 3 || cov.NumLits() != 6 {
+		t.Fatalf("maj3 cover = %v (%d cubes, %d lits), want 3 cubes 6 lits",
+			cov, len(cov), cov.NumLits())
+	}
+
+	// f = ab + a'b' with dc everywhere else over 3 vars collapses further.
+	on := tt.New(2)
+	on.Set(0b00, true)
+	on.Set(0b11, true)
+	cov = Minimize(on, tt.New(2))
+	if len(cov) != 2 {
+		t.Fatalf("xnor cover = %v", cov)
+	}
+}
+
+func TestMinimizeUsesDontCares(t *testing.T) {
+	// on = minterm 0, dc = the rest: a single tautology cube suffices.
+	n := 4
+	on := tt.New(n)
+	on.Set(0, true)
+	dc := tt.Ones(n).AndNot(on)
+	cov := Minimize(on, dc)
+	if len(cov) != 1 || cov[0].NumLits() != 0 {
+		t.Fatalf("cover = %v, want the tautology cube", cov)
+	}
+}
+
+func TestMinimizeConstants(t *testing.T) {
+	n := 3
+	if cov := Minimize(tt.New(n), tt.New(n)); len(cov) != 0 {
+		t.Fatalf("const0 cover = %v", cov)
+	}
+	cov := Minimize(tt.Ones(n), tt.New(n))
+	if len(cov) != 1 || cov[0].NumLits() != 0 {
+		t.Fatalf("const1 cover = %v", cov)
+	}
+}
+
+func TestCubesArePrimeAfterMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		on := randomTable(rng, n)
+		dc := randomTable(rng, n).AndNot(on)
+		upper := on.Or(dc)
+		for _, c := range Minimize(on, dc) {
+			for v := 0; v < n; v++ {
+				bit := uint32(1) << uint(v)
+				if c.Pos&bit == 0 && c.Neg&bit == 0 {
+					continue
+				}
+				bigger := c
+				bigger.Pos &^= bit
+				bigger.Neg &^= bit
+				if bigger.Table(n).AndNot(upper).IsConst0() {
+					t.Fatalf("trial %d: cube %v not prime", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestIrredundantAfterMinimize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(5)
+		on := randomTable(rng, n)
+		dc := randomTable(rng, n).AndNot(on)
+		cov := Minimize(on, dc)
+		for i := range cov {
+			rest := make(tt.Cover, 0, len(cov)-1)
+			rest = append(rest, cov[:i]...)
+			rest = append(rest, cov[i+1:]...)
+			if on.AndNot(rest.Table(n)).IsConst0() {
+				t.Fatalf("trial %d: cube %d redundant", trial, i)
+			}
+		}
+	}
+}
+
+func TestSupercube(t *testing.T) {
+	n := 4
+	tab := tt.New(n)
+	tab.Set(0b0101, true)
+	tab.Set(0b0111, true)
+	c := supercube(tab, n)
+	// Bits 0 and 2 are always 1, bit 3 always 0, bit 1 varies.
+	if c.Pos != 0b0101 || c.Neg != 0b1000 {
+		t.Fatalf("supercube = %+v", c)
+	}
+}
+
+func TestMinimizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		on := randomTable(r, n)
+		dc := randomTable(r, n).AndNot(on)
+		cov := Minimize(on, dc)
+		ft := cov.Table(n)
+		return on.AndNot(ft).IsConst0() && ft.AndNot(on.Or(dc)).IsConst0()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

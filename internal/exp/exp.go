@@ -1,0 +1,255 @@
+// Package exp drives the paper's experiments: it runs ALSRAC and the
+// baseline flows over benchmark suites and threshold sweeps, maps the
+// results for the ASIC (MCNC cells) or FPGA (6-LUT) target, and produces
+// the rows of Tables III–VII. Area ratio, delay ratio and runtime are
+// reported exactly as in the paper: the approximate circuit's mapped
+// area/delay over the exact circuit's, averaged across thresholds (and
+// repeats).
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/baseline/mcmc"
+	"repro/internal/baseline/sasimi"
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/errest"
+	"repro/internal/mapper"
+	"repro/internal/opt"
+)
+
+// Target selects the implementation technology.
+type Target int
+
+// The two targets of the paper's evaluation.
+const (
+	ASIC Target = iota // MCNC-style standard cells (Tables IV, V)
+	FPGA               // 6-input LUTs (Tables VI, VII)
+)
+
+// Baseline selects the comparison method.
+type Baseline int
+
+// The two baselines of the paper's evaluation.
+const (
+	Su  Baseline = iota // SASIMI-style substitution (Su et al., DAC'18)
+	Liu                 // stochastic MCMC ALS (Liu & Zhang, ICCAD'17)
+)
+
+// Config parameterizes one experiment (one table).
+type Config struct {
+	Metric     errest.Metric
+	Thresholds []float64
+	Target     Target
+	Baseline   Baseline
+
+	EvalPatterns    int
+	Seed            int64
+	Repeats         int // the paper averages 3 runs
+	MaxReplaceTries int // resub divisor scan cap (0 = paper-faithful unbounded)
+	MCMCProposals   int
+	LUTK            int
+}
+
+// Quick returns a configuration sized for laptop-scale regression runs:
+// one repeat, a reduced evaluation budget and a capped divisor scan. The
+// table SHAPE (who wins, roughly by how much) is preserved; absolute
+// runtimes shrink.
+func Quick(metric errest.Metric, thresholds []float64, target Target, baseline Baseline) Config {
+	return Config{
+		Metric:          metric,
+		Thresholds:      thresholds,
+		Target:          target,
+		Baseline:        baseline,
+		EvalPatterns:    2048,
+		Seed:            1,
+		Repeats:         1,
+		MaxReplaceTries: 120,
+		MCMCProposals:   1500,
+		LUTK:            6,
+	}
+}
+
+// Full returns the paper-faithful configuration: three repeats, a larger
+// evaluation budget, unbounded divisor scans.
+func Full(metric errest.Metric, thresholds []float64, target Target, baseline Baseline) Config {
+	c := Quick(metric, thresholds, target, baseline)
+	c.EvalPatterns = 16384
+	c.Repeats = 3
+	c.MaxReplaceTries = 0
+	c.MCMCProposals = 6000
+	return c
+}
+
+// Row is one benchmark line of a comparison table.
+type Row struct {
+	Circuit string
+
+	AreaRatioA  float64 // ALSRAC
+	AreaRatioB  float64 // baseline
+	DelayRatioA float64
+	DelayRatioB float64
+	TimeA       time.Duration
+	TimeB       time.Duration
+}
+
+// measure maps g for the target and returns (area, delay).
+func measure(g *aig.Graph, cfg Config) (float64, float64) {
+	if cfg.Target == FPGA {
+		r := mapper.MapLUT(g, cfg.LUTK)
+		return float64(r.LUTs), float64(r.Depth)
+	}
+	r := mapper.MapCells(g, cell.MCNC())
+	return r.Area, r.Delay
+}
+
+func ratio(approx, base float64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return approx / base
+}
+
+// runALSRAC runs the ALSRAC flow once and returns the mapped (area, delay).
+func runALSRAC(g *aig.Graph, cfg Config, threshold float64, seed int64) (float64, float64) {
+	opts := core.DefaultOptions(cfg.Metric, threshold)
+	opts.EvalPatterns = cfg.EvalPatterns
+	opts.Seed = seed
+	opts.MaxReplaceTries = cfg.MaxReplaceTries
+	res := core.Run(g, opts)
+	a, d := measure(res.Graph, cfg)
+	return a, d
+}
+
+// keepIfBetter falls back to the exact circuit's numbers when the
+// approximation did not reduce mapped area — a zero-error "change" any
+// real flow would simply not commit. Applied identically to both methods.
+func keepIfBetter(a, d, baseA, baseD float64) (float64, float64) {
+	if a > baseA {
+		return baseA, baseD
+	}
+	return a, d
+}
+
+// runBaseline runs the configured baseline once.
+func runBaseline(g *aig.Graph, cfg Config, threshold float64, seed int64) (float64, float64) {
+	var approx *aig.Graph
+	if cfg.Baseline == Su {
+		opts := sasimi.Configure(core.DefaultOptions(cfg.Metric, threshold))
+		opts.EvalPatterns = cfg.EvalPatterns
+		opts.Seed = seed
+		res := core.Run(g, opts)
+		approx = res.Graph
+	} else {
+		o := mcmc.DefaultOptions(cfg.Metric, threshold)
+		o.EvalPatterns = cfg.EvalPatterns
+		o.Seed = seed
+		o.Proposals = cfg.MCMCProposals
+		res := mcmc.Run(g, o)
+		approx = res.Graph
+	}
+	return measure(approx, cfg)
+}
+
+// Compare runs ALSRAC against the configured baseline on one circuit,
+// averaging over the threshold sweep and the repeats.
+func Compare(name string, g *aig.Graph, cfg Config) Row {
+	g = opt.Optimize(g) // the paper pre-optimizes all benchmarks (SIS)
+	baseArea, baseDelay := measure(g, cfg)
+
+	row := Row{Circuit: name}
+	n := 0
+	for _, et := range cfg.Thresholds {
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			seed := cfg.Seed + int64(rep)*101
+
+			t0 := time.Now()
+			aA, dA := runALSRAC(g, cfg, et, seed)
+			row.TimeA += time.Since(t0)
+			aA, dA = keepIfBetter(aA, dA, baseArea, baseDelay)
+
+			t0 = time.Now()
+			aB, dB := runBaseline(g, cfg, et, seed)
+			row.TimeB += time.Since(t0)
+			aB, dB = keepIfBetter(aB, dB, baseArea, baseDelay)
+
+			row.AreaRatioA += ratio(aA, baseArea)
+			row.AreaRatioB += ratio(aB, baseArea)
+			row.DelayRatioA += ratio(dA, baseDelay)
+			row.DelayRatioB += ratio(dB, baseDelay)
+			n++
+		}
+	}
+	row.AreaRatioA /= float64(n)
+	row.AreaRatioB /= float64(n)
+	row.DelayRatioA /= float64(n)
+	row.DelayRatioB /= float64(n)
+	row.TimeA /= time.Duration(n)
+	row.TimeB /= time.Duration(n)
+	return row
+}
+
+// CompareSuite runs Compare on every entry and appends the arithmetic mean.
+func CompareSuite(entries []bench.Entry, cfg Config, logf func(string, ...any)) []Row {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var rows []Row
+	for _, e := range entries {
+		row := Compare(e.Name, e.Build(), cfg)
+		logf("%-10s area %6.2f%% vs %6.2f%%  delay %6.2f%% vs %6.2f%%  time %v vs %v",
+			row.Circuit, 100*row.AreaRatioA, 100*row.AreaRatioB,
+			100*row.DelayRatioA, 100*row.DelayRatioB, row.TimeA.Round(time.Millisecond), row.TimeB.Round(time.Millisecond))
+		rows = append(rows, row)
+	}
+	rows = append(rows, Mean(rows))
+	return rows
+}
+
+// Mean computes the arithmetic-mean row (named "Arithmean" as in the paper).
+func Mean(rows []Row) Row {
+	m := Row{Circuit: "Arithmean"}
+	if len(rows) == 0 {
+		return m
+	}
+	for _, r := range rows {
+		m.AreaRatioA += r.AreaRatioA
+		m.AreaRatioB += r.AreaRatioB
+		m.DelayRatioA += r.DelayRatioA
+		m.DelayRatioB += r.DelayRatioB
+		m.TimeA += r.TimeA
+		m.TimeB += r.TimeB
+	}
+	n := float64(len(rows))
+	m.AreaRatioA /= n
+	m.AreaRatioB /= n
+	m.DelayRatioA /= n
+	m.DelayRatioB /= n
+	m.TimeA /= time.Duration(len(rows))
+	m.TimeB /= time.Duration(len(rows))
+	return m
+}
+
+// Render formats rows as a paper-style table. nameA/nameB label the two
+// methods (e.g. "ALSRAC", "Su's").
+func Render(title, nameA, nameB string, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-10s | %9s %9s | %9s %9s | %10s %10s\n",
+		"Circuit", nameA, nameB, nameA, nameB, nameA, nameB)
+	fmt.Fprintf(&sb, "%-10s | %9s %9s | %9s %9s | %10s %10s\n",
+		"", "area", "area", "delay", "delay", "time", "time")
+	fmt.Fprintln(&sb, strings.Repeat("-", 80))
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s | %8.2f%% %8.2f%% | %8.2f%% %8.2f%% | %10v %10v\n",
+			r.Circuit, 100*r.AreaRatioA, 100*r.AreaRatioB,
+			100*r.DelayRatioA, 100*r.DelayRatioB,
+			r.TimeA.Round(time.Millisecond), r.TimeB.Round(time.Millisecond))
+	}
+	return sb.String()
+}

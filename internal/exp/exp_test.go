@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/errest"
+)
+
+func TestCompareSmallCircuit(t *testing.T) {
+	cfg := Quick(errest.NMED, []float64{0.001}, ASIC, Su)
+	cfg.EvalPatterns = 1024
+	row := Compare("rca8", bench.RCA(8), cfg)
+	if row.AreaRatioA <= 0 || row.AreaRatioA > 1.5 {
+		t.Fatalf("ALSRAC area ratio %v out of range", row.AreaRatioA)
+	}
+	if row.AreaRatioB <= 0 || row.AreaRatioB > 1.5 {
+		t.Fatalf("baseline area ratio %v out of range", row.AreaRatioB)
+	}
+	if row.TimeA <= 0 || row.TimeB <= 0 {
+		t.Fatalf("times not recorded")
+	}
+}
+
+func TestCompareLiuBaseline(t *testing.T) {
+	cfg := Quick(errest.ER, []float64{0.01}, FPGA, Liu)
+	cfg.EvalPatterns = 1024
+	cfg.MCMCProposals = 200
+	row := Compare("dec", bench.Decoder(4), cfg)
+	if row.AreaRatioA <= 0 || row.AreaRatioB <= 0 {
+		t.Fatalf("degenerate ratios: %+v", row)
+	}
+}
+
+func TestMean(t *testing.T) {
+	rows := []Row{
+		{Circuit: "a", AreaRatioA: 0.5, AreaRatioB: 0.7, DelayRatioA: 1, DelayRatioB: 1, TimeA: time.Second, TimeB: 3 * time.Second},
+		{Circuit: "b", AreaRatioA: 0.7, AreaRatioB: 0.9, DelayRatioA: 0.5, DelayRatioB: 0.8, TimeA: 3 * time.Second, TimeB: time.Second},
+	}
+	m := Mean(rows)
+	if m.Circuit != "Arithmean" {
+		t.Fatalf("mean row name %q", m.Circuit)
+	}
+	if m.AreaRatioA != 0.6 || m.AreaRatioB != 0.8 {
+		t.Fatalf("mean areas wrong: %+v", m)
+	}
+	if m.TimeA != 2*time.Second {
+		t.Fatalf("mean time wrong: %v", m.TimeA)
+	}
+	if empty := Mean(nil); empty.AreaRatioA != 0 {
+		t.Fatalf("empty mean wrong")
+	}
+}
+
+func TestRender(t *testing.T) {
+	rows := []Row{{Circuit: "rca8", AreaRatioA: 0.8, AreaRatioB: 0.9, DelayRatioA: 1, DelayRatioB: 1}}
+	s := Render("Table X", "ALSRAC", "Su's", rows)
+	if !strings.Contains(s, "rca8") || !strings.Contains(s, "80.00%") {
+		t.Fatalf("render output wrong:\n%s", s)
+	}
+}
+
+func TestTableConfigs(t *testing.T) {
+	for table := 4; table <= 7; table++ {
+		cfg := TableConfig(table, true)
+		if len(cfg.Thresholds) == 0 {
+			t.Errorf("table %d: no thresholds", table)
+		}
+		if len(Suite(table)) == 0 {
+			t.Errorf("table %d: empty suite", table)
+		}
+		full := TableConfig(table, false)
+		if full.Repeats != 3 {
+			t.Errorf("table %d: full config repeats = %d", table, full.Repeats)
+		}
+	}
+	if BaselineName(4) != "Su's" || BaselineName(7) != "Liu's" {
+		t.Errorf("baseline names wrong")
+	}
+	// Metric assignments per the paper.
+	if TableConfig(4, true).Metric != errest.ER ||
+		TableConfig(5, true).Metric != errest.NMED ||
+		TableConfig(6, true).Metric != errest.ER ||
+		TableConfig(7, true).Metric != errest.MRED {
+		t.Errorf("table metrics wrong")
+	}
+}
+
+func TestThresholdSweepsMatchPaper(t *testing.T) {
+	if len(TableIVThresholds) != 7 || TableIVThresholds[0] != 0.001 || TableIVThresholds[6] != 0.05 {
+		t.Fatalf("Table IV thresholds wrong: %v", TableIVThresholds)
+	}
+	if len(TableVThresholds) != 8 || TableVThresholds[7] != 0.0019531 {
+		t.Fatalf("Table V thresholds wrong: %v", TableVThresholds)
+	}
+}
+
+func TestKeepIfBetter(t *testing.T) {
+	// Approximation worse than base falls back to base numbers.
+	a, d := keepIfBetter(120, 5, 100, 10)
+	if a != 100 || d != 10 {
+		t.Fatalf("worse approximation not clamped: %v %v", a, d)
+	}
+	// Better approximation is kept, even with worse delay.
+	a, d = keepIfBetter(80, 15, 100, 10)
+	if a != 80 || d != 15 {
+		t.Fatalf("better approximation clamped: %v %v", a, d)
+	}
+	// Equal area is kept (a committed zero-gain result is harmless).
+	a, _ = keepIfBetter(100, 9, 100, 10)
+	if a != 100 {
+		t.Fatalf("equal area mishandled")
+	}
+}
+
+func TestTableIIIRenders(t *testing.T) {
+	out := TableIII()
+	for _, want := range []string{"rca32", "voter", "mult", "Circuit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/errest"
+	"repro/internal/mapper"
+	"repro/internal/opt"
+)
+
+// The paper's threshold sweeps (Section IV).
+var (
+	// TableIVThresholds are the seven ER thresholds of Table IV:
+	// 0.1%, 0.3%, 0.5%, 0.8%, 1%, 3%, 5%.
+	TableIVThresholds = []float64{0.001, 0.003, 0.005, 0.008, 0.01, 0.03, 0.05}
+	// TableVThresholds are the eight NMED thresholds of Table V:
+	// 0.00153% ... 0.19531%.
+	TableVThresholds = []float64{
+		0.0000153, 0.0000305, 0.0000610, 0.0001221,
+		0.0002441, 0.0004883, 0.0009766, 0.0019531,
+	}
+	// TableVIThreshold is the ER threshold of Table VI (1%).
+	TableVIThreshold = []float64{0.01}
+	// TableVIIThreshold is the MRED threshold of Table VII (0.19531%).
+	TableVIIThreshold = []float64{0.0019531}
+)
+
+// TableIVConfig returns the experiment behind Table IV: ALSRAC vs Su's
+// method on ASIC designs under the ER constraint.
+func TableIVConfig(quick bool) Config {
+	if quick {
+		// The quick preset also trims the threshold sweep to three points
+		// spanning the paper's range.
+		return Quick(errest.ER, []float64{0.001, 0.01, 0.05}, ASIC, Su)
+	}
+	return Full(errest.ER, TableIVThresholds, ASIC, Su)
+}
+
+// TableVConfig returns the experiment behind Table V: ALSRAC vs Su's
+// method on ASIC designs under the NMED constraint.
+func TableVConfig(quick bool) Config {
+	if quick {
+		return Quick(errest.NMED, []float64{0.0000305, 0.0002441, 0.0019531}, ASIC, Su)
+	}
+	return Full(errest.NMED, TableVThresholds, ASIC, Su)
+}
+
+// TableVIConfig returns the experiment behind Table VI: ALSRAC vs Liu's
+// method on FPGA designs under the 1% ER constraint.
+func TableVIConfig(quick bool) Config {
+	if quick {
+		return Quick(errest.ER, TableVIThreshold, FPGA, Liu)
+	}
+	return Full(errest.ER, TableVIThreshold, FPGA, Liu)
+}
+
+// TableVIIConfig returns the experiment behind Table VII: ALSRAC vs Liu's
+// method on FPGA designs under the 0.19531% MRED constraint.
+func TableVIIConfig(quick bool) Config {
+	if quick {
+		return Quick(errest.MRED, TableVIIThreshold, FPGA, Liu)
+	}
+	return Full(errest.MRED, TableVIIThreshold, FPGA, Liu)
+}
+
+// BenchPreset returns an extra-light configuration for the testing.B
+// harness in bench_test.go: a two-point threshold sweep and a small
+// evaluation budget. Use Quick/Full (or cmd/exptables) for real table runs.
+func BenchPreset(table int) Config {
+	cfg := TableConfig(table, true)
+	cfg.EvalPatterns = 1024
+	cfg.MCMCProposals = 800
+	cfg.MaxReplaceTries = 100
+	switch table {
+	case 4:
+		cfg.Thresholds = []float64{0.01, 0.05}
+	case 5:
+		cfg.Thresholds = []float64{0.0002441, 0.0019531}
+	}
+	return cfg
+}
+
+// Suite returns the benchmark set for a table number (4-7).
+func Suite(table int) []bench.Entry {
+	switch table {
+	case 4:
+		return bench.ISCASArith()
+	case 5:
+		return bench.ArithED()
+	case 6:
+		return bench.EPFLControl()
+	case 7:
+		return bench.EPFLArith()
+	}
+	return nil
+}
+
+// TableConfig returns the configuration for a table number (4-7).
+func TableConfig(table int, quick bool) Config {
+	switch table {
+	case 4:
+		return TableIVConfig(quick)
+	case 5:
+		return TableVConfig(quick)
+	case 6:
+		return TableVIConfig(quick)
+	case 7:
+		return TableVIIConfig(quick)
+	}
+	panic(fmt.Sprintf("exp: no comparison config for table %d", table))
+}
+
+// BaselineName returns the paper's label for a table's baseline method.
+func BaselineName(table int) string {
+	if table <= 5 {
+		return "Su's"
+	}
+	return "Liu's"
+}
+
+// TableIII renders the benchmark inventory: per circuit, the mapped ASIC
+// gate count and delay, and the 6-LUT count and depth (the paper's Table
+// III lists #gate/delay for the ASIC set and #LUT/level for the EPFL set).
+func TableIII() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table III: benchmark inventory (generated circuits)\n")
+	fmt.Fprintf(&sb, "%-10s %8s %8s %8s %8s %8s %8s\n",
+		"Circuit", "PIs", "POs", "ANDs", "cells", "LUT6", "depth")
+	fmt.Fprintln(&sb, strings.Repeat("-", 64))
+	for _, e := range bench.All() {
+		g := opt.Optimize(e.Build())
+		cells := mapper.MapCells(g, cell.MCNC())
+		luts := mapper.MapLUT(g, 6)
+		fmt.Fprintf(&sb, "%-10s %8d %8d %8d %8d %8d %8d\n",
+			e.Name, g.NumPIs(), g.NumPOs(), g.NumAnds(), cells.Gates, luts.LUTs, luts.Depth)
+	}
+	return sb.String()
+}

@@ -1,0 +1,97 @@
+// Package mapper implements technology mapping of AIGs: K-input LUT
+// mapping for FPGA targets (the paper's "if -K 6" substitute) and standard-
+// cell mapping against a genlib-style library for ASIC targets (the paper's
+// "map -D" substitute). Both are cut-based dynamic programs over the
+// priority cuts of package cut: a depth-optimal arrival time is computed
+// per node and ties are broken by area flow, followed by a cover-extraction
+// walk from the primary outputs.
+package mapper
+
+import (
+	"math"
+
+	"repro/internal/aig"
+	"repro/internal/cut"
+)
+
+// LUTResult summarizes an FPGA mapping.
+type LUTResult struct {
+	K     int
+	LUTs  int // number of LUTs in the extracted cover ("area")
+	Depth int // LUT levels on the critical path ("delay")
+	// Roots maps each mapped node to its chosen cut leaves.
+	Roots map[aig.Node][]aig.Node
+}
+
+// MapLUT maps g into K-input LUTs, minimizing depth first and area flow
+// second, and returns the extracted cover.
+func MapLUT(g *aig.Graph, k int) LUTResult {
+	sets := cut.Enumerate(g, cut.Config{K: k, PerNode: 16})
+	refs := g.RefCounts()
+
+	n := g.NumNodes()
+	arr := make([]int32, n)
+	flow := make([]float64, n)
+	bestCut := make([]int, n)
+
+	for nd := aig.Node(1); int(nd) < n; nd++ {
+		if !g.IsAnd(nd) {
+			continue
+		}
+		bestArr := int32(math.MaxInt32)
+		bestFlow := math.Inf(1)
+		bi := -1
+		for ci, c := range sets.Cuts(nd) {
+			if c.IsTrivial(nd) {
+				continue
+			}
+			a := int32(0)
+			f := 1.0
+			for _, l := range c.Leaves {
+				if arr[l] > a {
+					a = arr[l]
+				}
+				f += flow[l]
+			}
+			a++
+			if a < bestArr || (a == bestArr && f < bestFlow) {
+				bestArr, bestFlow, bi = a, f, ci
+			}
+		}
+		arr[nd] = bestArr
+		bestCut[nd] = bi
+		d := float64(refs[nd])
+		if d < 1 {
+			d = 1
+		}
+		flow[nd] = bestFlow / d
+	}
+
+	res := LUTResult{K: k, Roots: make(map[aig.Node][]aig.Node)}
+	var stack []aig.Node
+	for i := 0; i < g.NumPOs(); i++ {
+		nd := g.PO(i).Node()
+		if g.IsAnd(nd) {
+			stack = append(stack, nd)
+			if int(arr[nd]) > res.Depth {
+				res.Depth = int(arr[nd])
+			}
+		}
+	}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, done := res.Roots[nd]; done {
+			continue
+		}
+		leaves := sets.Cuts(nd)[bestCut[nd]].Leaves
+		res.Roots[nd] = leaves
+		res.LUTs++
+		for _, l := range leaves {
+			if g.IsAnd(l) {
+				stack = append(stack, l)
+			}
+		}
+	}
+	return res
+}

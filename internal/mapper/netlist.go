@@ -1,0 +1,193 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/aig"
+	"repro/internal/blif"
+	"repro/internal/cut"
+	"repro/internal/sim"
+	"repro/internal/tt"
+)
+
+// LUT is one mapped lookup table: the function Fn over the Leaves drives
+// the signal of Root (leaf i is variable i of Fn).
+type LUT struct {
+	Root   aig.Node
+	Leaves []aig.Node
+	Fn     tt.Table
+}
+
+// MappedPO binds a primary output to a mapped signal.
+type MappedPO struct {
+	Root  aig.Node // 0 for a constant output
+	Compl bool
+	Const bool // when Root is 0: output is the constant Compl
+}
+
+// LUTNetwork is a complete mapped FPGA netlist: LUTs in topological order
+// plus the PO bindings. It can be evaluated directly (Eval) and exported
+// as BLIF, and carries the source graph for names.
+type LUTNetwork struct {
+	K      int
+	LUTs   []LUT
+	POs    []MappedPO
+	Depth  int
+	source *aig.Graph
+}
+
+// ExtractLUTNetwork maps g into K-input LUTs (same algorithm as MapLUT)
+// and returns the mapped netlist.
+func ExtractLUTNetwork(g *aig.Graph, k int) *LUTNetwork {
+	res := MapLUT(g, k)
+	net := &LUTNetwork{K: k, Depth: res.Depth, source: g}
+	// Emit in topological (id) order; res.Roots holds the chosen cuts.
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		leaves, ok := res.Roots[n]
+		if !ok {
+			continue
+		}
+		net.LUTs = append(net.LUTs, LUT{
+			Root:   n,
+			Leaves: leaves,
+			Fn:     cut.Table(g, n, leaves),
+		})
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		if po.Node() == 0 {
+			net.POs = append(net.POs, MappedPO{Const: true, Compl: po.IsCompl()})
+			continue
+		}
+		net.POs = append(net.POs, MappedPO{Root: po.Node(), Compl: po.IsCompl()})
+	}
+	return net
+}
+
+// NumLUTs returns the LUT count (the FPGA area measure).
+func (n *LUTNetwork) NumLUTs() int { return len(n.LUTs) }
+
+// Eval simulates the LUT network bit-parallel on the given input patterns
+// and returns the PO words — independent of the AIG evaluator, so it
+// verifies the mapping end to end.
+func (n *LUTNetwork) Eval(p *sim.Patterns) [][]uint64 {
+	g := n.source
+	words := p.Words
+	vals := make(map[aig.Node][]uint64, len(n.LUTs)+g.NumPIs())
+	for i := 0; i < g.NumPIs(); i++ {
+		vals[g.PI(i)] = p.In[i]
+	}
+	for _, lut := range n.LUTs {
+		out := make([]uint64, words)
+		ins := make([][]uint64, len(lut.Leaves))
+		for i, l := range lut.Leaves {
+			v, ok := vals[l]
+			if !ok {
+				panic(fmt.Sprintf("mapper: LUT leaf %d evaluated before definition", l))
+			}
+			ins[i] = v
+		}
+		evalTable(lut.Fn, ins, out)
+		vals[lut.Root] = out
+	}
+	res := make([][]uint64, len(n.POs))
+	for i, po := range n.POs {
+		out := make([]uint64, words)
+		switch {
+		case po.Const:
+			if po.Compl {
+				for w := range out {
+					out[w] = ^uint64(0)
+				}
+			}
+		default:
+			src := vals[po.Root]
+			for w := range out {
+				if po.Compl {
+					out[w] = ^src[w]
+				} else {
+					out[w] = src[w]
+				}
+			}
+		}
+		res[i] = out
+	}
+	return res
+}
+
+// evalTable evaluates a truth table bit-parallel over the input words by
+// Shannon-expanding it as a sum of minterms via its ISOP cover.
+func evalTable(fn tt.Table, ins [][]uint64, out []uint64) {
+	cover := tt.ISOP(fn, tt.New(fn.NumVars()))
+	cover.EvalWords(ins, len(out), out)
+}
+
+// ToBLIF exports the mapped netlist as a BLIF network with one .names node
+// per LUT (cover rows from the LUT's ISOP).
+func (n *LUTNetwork) ToBLIF() *blif.Network {
+	g := n.source
+	net := &blif.Network{Name: g.Name + "_mapped"}
+	name := make(map[aig.Node]string)
+	for i := 0; i < g.NumPIs(); i++ {
+		nm := g.PIName(i)
+		if nm == "" {
+			nm = fmt.Sprintf("pi%d", i)
+		}
+		name[g.PI(i)] = nm
+		net.Inputs = append(net.Inputs, nm)
+	}
+	for _, lut := range n.LUTs {
+		name[lut.Root] = fmt.Sprintf("lut%d", lut.Root)
+	}
+	for _, lut := range n.LUTs {
+		node := blif.Node{Output: name[lut.Root]}
+		for _, l := range lut.Leaves {
+			node.Inputs = append(node.Inputs, name[l])
+		}
+		cover := tt.ISOP(lut.Fn, tt.New(lut.Fn.NumVars()))
+		for _, cube := range cover {
+			pat := make([]byte, len(lut.Leaves))
+			for v := range pat {
+				bit := uint32(1) << uint(v)
+				switch {
+				case cube.Pos&bit != 0:
+					pat[v] = '1'
+				case cube.Neg&bit != 0:
+					pat[v] = '0'
+				default:
+					pat[v] = '-'
+				}
+			}
+			node.Cover = append(node.Cover, blif.Row{Pattern: string(pat), Value: '1'})
+		}
+		net.Nodes = append(net.Nodes, node)
+	}
+	used := map[string]int{}
+	for i, po := range n.POs {
+		nm := g.POName(i)
+		if nm == "" {
+			nm = fmt.Sprintf("po%d", i)
+		}
+		if c := used[nm]; c > 0 {
+			nm = fmt.Sprintf("%s_%d", nm, c)
+		}
+		used[g.POName(i)]++
+		net.Outputs = append(net.Outputs, nm)
+		node := blif.Node{Output: nm}
+		switch {
+		case po.Const:
+			if po.Compl {
+				node.Cover = []blif.Row{{Pattern: "", Value: '1'}}
+			}
+		default:
+			node.Inputs = []string{name[po.Root]}
+			pat := "1"
+			if po.Compl {
+				pat = "0"
+			}
+			node.Cover = []blif.Row{{Pattern: pat, Value: '1'}}
+		}
+		net.Nodes = append(net.Nodes, node)
+	}
+	return net
+}

@@ -1,0 +1,114 @@
+package mapper
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/blif"
+	"repro/internal/sim"
+)
+
+func TestLUTNetworkEvalMatchesAIG(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		k    int
+	}{
+		{"adder", 6}, {"adder", 4}, {"random", 6},
+	} {
+		var g = adder(8)
+		if tc.name == "random" {
+			g = randomGraph(8, 80, 3)
+		}
+		net := ExtractLUTNetwork(g, tc.k)
+		if net.NumLUTs() == 0 {
+			t.Fatalf("%s/K%d: empty mapping", tc.name, tc.k)
+		}
+		p := sim.Uniform(g.NumPIs(), 8, 42)
+		got := net.Eval(p)
+		ref := sim.Simulate(g, p)
+		for i := 0; i < g.NumPOs(); i++ {
+			want := ref.LitInto(g.PO(i), make([]uint64, p.Words))
+			for w := range want {
+				if got[i][w] != want[w] {
+					t.Fatalf("%s/K%d: PO %d differs from AIG", tc.name, tc.k, i)
+				}
+			}
+		}
+	}
+}
+
+func TestLUTNetworkRespectsK(t *testing.T) {
+	g := adder(12)
+	net := ExtractLUTNetwork(g, 4)
+	for _, lut := range net.LUTs {
+		if len(lut.Leaves) > 4 {
+			t.Fatalf("LUT at %d has %d inputs", lut.Root, len(lut.Leaves))
+		}
+		if lut.Fn.NumVars() != len(lut.Leaves) {
+			t.Fatalf("LUT table arity mismatch")
+		}
+	}
+	if net.NumLUTs() != MapLUT(g, 4).LUTs {
+		t.Fatalf("netlist LUT count disagrees with MapLUT")
+	}
+}
+
+func TestLUTNetworkTopologicalOrder(t *testing.T) {
+	g := randomGraph(6, 60, 9)
+	net := ExtractLUTNetwork(g, 6)
+	seen := map[int32]bool{}
+	for i := 0; i < g.NumPIs(); i++ {
+		seen[int32(g.PI(i))] = true
+	}
+	for _, lut := range net.LUTs {
+		for _, l := range lut.Leaves {
+			if !seen[int32(l)] {
+				t.Fatalf("LUT %d uses leaf %d before its definition", lut.Root, l)
+			}
+		}
+		seen[int32(lut.Root)] = true
+	}
+}
+
+func TestLUTNetworkToBLIFRoundTrip(t *testing.T) {
+	g := adder(6)
+	net := ExtractLUTNetwork(g, 6)
+	var buf bytes.Buffer
+	if err := net.ToBLIF().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := blif.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := parsed.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sim.Uniform(g.NumPIs(), 8, 5)
+	v1 := sim.Simulate(g, p)
+	v2 := sim.Simulate(g2, p)
+	for i := 0; i < g.NumPOs(); i++ {
+		a := v1.LitInto(g.PO(i), make([]uint64, p.Words))
+		b := v2.LitInto(g2.PO(i), make([]uint64, p.Words))
+		for w := range a {
+			if a[w] != b[w] {
+				t.Fatalf("PO %d differs after BLIF round trip of mapped netlist", i)
+			}
+		}
+	}
+}
+
+func TestLUTNetworkConstantPO(t *testing.T) {
+	g := adder(4)
+	g.AddPO(0x1, "one") // constant-true output
+	net := ExtractLUTNetwork(g, 6)
+	p := sim.Uniform(g.NumPIs(), 2, 7)
+	got := net.Eval(p)
+	last := got[len(got)-1]
+	for _, w := range last {
+		if w != ^uint64(0) {
+			t.Fatalf("constant PO evaluated wrong")
+		}
+	}
+}

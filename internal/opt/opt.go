@@ -1,0 +1,244 @@
+// Package opt implements traditional (exact) logic optimization over AIGs:
+// structural sweeping, AND-tree balancing and cut-based rewriting. It
+// stands in for the ABC commands "sweep; resyn2" that ALSRAC runs after
+// every applied approximate change (Algorithm 3, line 9). All passes
+// preserve the circuit function exactly.
+package opt
+
+import (
+	"repro/internal/aig"
+	"repro/internal/cut"
+	"repro/internal/tt"
+)
+
+// Optimize runs the default script — the resyn2 analog: sweep, balance and
+// several rewriting passes. The result computes the same function with, in
+// practice, fewer AND nodes and smaller depth.
+func Optimize(g *aig.Graph) *aig.Graph {
+	g = g.Sweep()
+	g = Balance(g)
+	g = Rewrite(g)
+	g = Rewrite(g)
+	g = Balance(g)
+	g = Rewrite(g)
+	return g.Sweep()
+}
+
+// Balance rebuilds every multi-input AND tree in a balanced form, reducing
+// circuit depth without changing the function (the ABC "balance" pass).
+// Trees are broken at complemented edges and at shared (multi-fanout)
+// nodes. When balancing does not help, the input graph is returned.
+func Balance(g *aig.Graph) *aig.Graph {
+	ng := aig.New()
+	ng.Name = g.Name
+	refs := g.RefCounts()
+
+	m := make([]aig.Lit, g.NumNodes())
+	// lev[i] is the depth of new-graph node i.
+	lev := make([]int32, 1, g.NumNodes())
+	levOf := func(l aig.Lit) int32 { return lev[l.Node()] }
+	and := func(a, b aig.Lit) aig.Lit {
+		l := ng.And(a, b)
+		for len(lev) < ng.NumNodes() {
+			lev = append(lev, 0)
+		}
+		if ng.IsAnd(l.Node()) && lev[l.Node()] == 0 {
+			lev[l.Node()] = max(levOf(a), levOf(b)) + 1
+		}
+		return l
+	}
+
+	m[0] = aig.LitFalse
+	for i := 0; i < g.NumPIs(); i++ {
+		m[g.PI(i)] = ng.AddPI(g.PIName(i))
+		lev = append(lev, 0)
+	}
+
+	var leaves []aig.Lit
+	var collect func(l aig.Lit)
+	collect = func(l aig.Lit) {
+		n := l.Node()
+		if l.IsCompl() || !g.IsAnd(n) || refs[n] > 1 {
+			leaves = append(leaves, m[n].NotCond(l.IsCompl()))
+			return
+		}
+		collect(g.Fanin0(n))
+		collect(g.Fanin1(n))
+	}
+
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		leaves = leaves[:0]
+		collect(g.Fanin0(n))
+		collect(g.Fanin1(n))
+		ls := append([]aig.Lit(nil), leaves...)
+		// Repeatedly combine the two shallowest operands (Huffman style).
+		for len(ls) > 1 {
+			i0 := argminLevel(ls, lev)
+			a := ls[i0]
+			ls[i0] = ls[len(ls)-1]
+			ls = ls[:len(ls)-1]
+			i1 := argminLevel(ls, lev)
+			b := ls[i1]
+			ls[i1] = ls[len(ls)-1]
+			ls = ls[:len(ls)-1]
+			ls = append(ls, and(a, b))
+		}
+		m[n] = ls[0]
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		ng.AddPO(m[po.Node()].NotCond(po.IsCompl()), g.POName(i))
+	}
+	res := ng.Sweep()
+	if res.NumAnds() > g.NumAnds() {
+		return g
+	}
+	return res
+}
+
+func argminLevel(ls []aig.Lit, lev []int32) int {
+	best := 0
+	for i := 1; i < len(ls); i++ {
+		if lev[ls[i].Node()] < lev[ls[best].Node()] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Rewrite performs one round of DAG-aware cut rewriting: for every AND node
+// it considers its 4-input cuts, resynthesizes the cut function from its
+// ISOP (in the cheaper output polarity), and replaces the node when the new
+// structure costs fewer AND nodes than the cut cone frees. All replacements
+// are exact, so they can be applied simultaneously. When the rewritten
+// graph is not smaller, an equivalent of the input graph is returned.
+func Rewrite(g *aig.Graph) *aig.Graph {
+	origAnds := g.NumAnds()
+	origNodes := g.NumNodes() // scratch structures are appended past this
+	sets := cut.Enumerate(g, cut.DefaultConfig())
+	refs := g.RefCounts()
+
+	type choice struct {
+		cov    tt.Cover
+		compl  bool
+		leaves []aig.Node
+	}
+	sub := make(map[aig.Node]aig.Lit)
+	for n := aig.Node(1); int(n) < origNodes; n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		bestGain := 0
+		var best choice
+		for _, c := range sets.Cuts(n) {
+			if c.IsTrivial(n) {
+				continue
+			}
+			freed := coneFreed(g, n, c.Leaves, refs)
+			tab := cut.Table(g, n, c.Leaves)
+			cov, compl := cheaperCover(tab)
+			cost := coverAndCost(cov)
+			if gain := freed - cost; gain > bestGain {
+				bestGain = gain
+				best = choice{cov: cov, compl: compl, leaves: c.Leaves}
+			}
+		}
+		if bestGain > 0 {
+			sub[n] = buildCover(g, best.cov, best.leaves).NotCond(best.compl)
+		}
+	}
+	if len(sub) == 0 {
+		return g
+	}
+	ng := g.CopyWith(sub)
+	if ng.NumAnds() >= origAnds {
+		// Not an improvement; drop the scratch nodes added while building
+		// candidate structures.
+		return g.Sweep()
+	}
+	return ng
+}
+
+// coneFreed counts the AND nodes that die when node n is replaced by a new
+// structure whose inputs are the given leaves: the nodes of n's MFFC that
+// lie strictly inside the cut cone. refs is restored before returning.
+func coneFreed(g *aig.Graph, n aig.Node, leaves []aig.Node, refs []int32) int {
+	isLeaf := make(map[aig.Node]bool, len(leaves))
+	for _, l := range leaves {
+		isLeaf[l] = true
+	}
+	var deref func(aig.Node) int
+	deref = func(m aig.Node) int {
+		c := 1
+		for _, f := range [2]aig.Lit{g.Fanin0(m), g.Fanin1(m)} {
+			fn := f.Node()
+			refs[fn]--
+			if refs[fn] == 0 && g.IsAnd(fn) && !isLeaf[fn] {
+				c += deref(fn)
+			}
+		}
+		return c
+	}
+	var reref func(aig.Node)
+	reref = func(m aig.Node) {
+		for _, f := range [2]aig.Lit{g.Fanin0(m), g.Fanin1(m)} {
+			fn := f.Node()
+			if refs[fn] == 0 && g.IsAnd(fn) && !isLeaf[fn] {
+				reref(fn)
+			}
+			refs[fn]++
+		}
+	}
+	c := deref(n)
+	reref(n)
+	return c
+}
+
+// cheaperCover returns the ISOP of tab or of its complement, whichever
+// needs fewer AND nodes, along with whether the output must be inverted.
+func cheaperCover(tab tt.Table) (tt.Cover, bool) {
+	n := tab.NumVars()
+	on := tt.ISOP(tab, tt.New(n))
+	off := tt.ISOP(tab.Not(), tt.New(n))
+	if coverAndCost(off) < coverAndCost(on) {
+		return off, true
+	}
+	return on, false
+}
+
+// coverAndCost counts the AND nodes needed to realize a cover.
+func coverAndCost(c tt.Cover) int {
+	if len(c) == 0 {
+		return 0
+	}
+	cost := len(c) - 1
+	for _, cube := range c {
+		if l := cube.NumLits(); l > 1 {
+			cost += l - 1
+		}
+	}
+	return cost
+}
+
+// buildCover materializes a cover over the given leaves in g and returns
+// its literal.
+func buildCover(g *aig.Graph, cov tt.Cover, leaves []aig.Node) aig.Lit {
+	terms := make([]aig.Lit, 0, len(cov))
+	for _, cube := range cov {
+		lits := make([]aig.Lit, 0, len(leaves))
+		for v, leaf := range leaves {
+			bit := uint32(1) << uint(v)
+			if cube.Pos&bit != 0 {
+				lits = append(lits, aig.MakeLit(leaf, false))
+			}
+			if cube.Neg&bit != 0 {
+				lits = append(lits, aig.MakeLit(leaf, true))
+			}
+		}
+		terms = append(terms, g.AndN(lits...))
+	}
+	return g.OrN(terms...)
+}

@@ -1,0 +1,149 @@
+package opt
+
+import (
+	"repro/internal/aig"
+	"repro/internal/cut"
+	"repro/internal/tt"
+)
+
+// ResubPass performs EXACT (zero-error) resubstitution inside cut windows,
+// the optimization counterpart of ALSRAC's approximate LAC and an analog of
+// ABC's "resub" command. For every node v and one of its K-feasible cuts,
+// the functions of v and of the other nodes inside the cut cone are
+// expressed over the cut leaves; a divisor set is accepted only when the
+// classical resubstitution condition (Theorem 1 of the paper) holds for
+// ALL 2^K window-input patterns, which makes the rewrite sound: any primary
+// input assignment induces some window pattern.
+//
+// Like Rewrite, the pass collects simultaneous exact replacements and
+// rebuilds once; it returns an equivalent of g when nothing improves.
+func ResubPass(g *aig.Graph, k int) *aig.Graph {
+	origAnds := g.NumAnds()
+	origNodes := g.NumNodes()
+	sets := cut.Enumerate(g, cut.Config{K: k, PerNode: 6})
+	refs := g.RefCounts()
+
+	sub := make(map[aig.Node]aig.Lit)
+	for v := aig.Node(1); int(v) < origNodes; v++ {
+		if !g.IsAnd(v) {
+			continue
+		}
+		if lit, gain := bestWindowResub(g, sets, refs, v); gain > 0 {
+			sub[v] = lit
+		}
+	}
+	if len(sub) == 0 {
+		return g.Sweep()
+	}
+	ng := g.CopyWith(sub)
+	if ng.NumAnds() >= origAnds {
+		return g.Sweep()
+	}
+	return ng
+}
+
+// bestWindowResub looks for the highest-gain exact resubstitution of v
+// using one or two divisors drawn from inside its cut cones.
+func bestWindowResub(g *aig.Graph, sets *cut.Sets, refs []int32, v aig.Node) (aig.Lit, int) {
+	bestGain := 0
+	var bestLit aig.Lit
+	for _, c := range sets.Cuts(v) {
+		if c.IsTrivial(v) || c.Size() < 2 {
+			continue
+		}
+		cone := windowNodes(g, v, c.Leaves)
+		if len(cone) < 2 {
+			continue // only v itself: nothing to resubstitute with
+		}
+		fv := cut.Table(g, v, c.Leaves)
+		// Candidate divisors: leaves and internal cone nodes except v.
+		divNodes := append(append([]aig.Node(nil), c.Leaves...), cone...)
+		tabs := make([]tt.Table, len(divNodes))
+		for i, d := range divNodes {
+			tabs[i] = cut.Table(g, d, c.Leaves)
+		}
+		freedBase := coneFreed(g, v, c.Leaves, refs)
+
+		consider := func(divs []aig.Node, dTabs []tt.Table) {
+			cover, ok := exactCover(fv, dTabs)
+			if !ok {
+				return
+			}
+			cost := coverAndCost(cover)
+			gain := freedBase - cost
+			if gain <= bestGain {
+				return
+			}
+			bestGain = gain
+			bestLit = buildCover(g, cover, divs)
+		}
+		for i, d1 := range divNodes {
+			if d1 == v {
+				continue
+			}
+			consider([]aig.Node{d1}, []tt.Table{tabs[i]})
+			for j := i + 1; j < len(divNodes); j++ {
+				if divNodes[j] == v {
+					continue
+				}
+				consider([]aig.Node{d1, divNodes[j]}, []tt.Table{tabs[i], tabs[j]})
+			}
+		}
+	}
+	return bestLit, bestGain
+}
+
+// windowNodes returns the AND nodes strictly inside the cut cone of root,
+// root excluded.
+func windowNodes(g *aig.Graph, root aig.Node, leaves []aig.Node) []aig.Node {
+	inLeaves := make(map[aig.Node]bool, len(leaves))
+	for _, l := range leaves {
+		inLeaves[l] = true
+	}
+	seen := map[aig.Node]bool{}
+	var out []aig.Node
+	var walk func(aig.Node)
+	walk = func(n aig.Node) {
+		if seen[n] || inLeaves[n] || !g.IsAnd(n) {
+			return
+		}
+		seen[n] = true
+		walk(g.Fanin0(n).Node())
+		walk(g.Fanin1(n).Node())
+		if n != root {
+			out = append(out, n)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// exactCover checks whether fv is a function of the divisor tables on every
+// window minterm (Theorem 1, exhaustively), and if so returns an ISOP of
+// that function over the divisors (unreached divisor patterns become
+// don't-cares).
+func exactCover(fv tt.Table, divs []tt.Table) (tt.Cover, bool) {
+	k := len(divs)
+	on := tt.New(k)
+	care := tt.New(k)
+	for m := 0; m < fv.NumBits(); m++ {
+		key := 0
+		for j := range divs {
+			if divs[j].Get(m) {
+				key |= 1 << uint(j)
+			}
+		}
+		val := fv.Get(m)
+		if care.Get(key) {
+			if on.Get(key) != val {
+				return nil, false
+			}
+			continue
+		}
+		care.Set(key, true)
+		if val {
+			on.Set(key, true)
+		}
+	}
+	return tt.ISOP(on, care.Not()), true
+}

@@ -1,0 +1,290 @@
+// Package resub implements ALSRAC's local approximate change (LAC):
+// approximate resubstitution with an approximate care set.
+//
+// Given a node V and a set of divisor signals, the care set of V at the
+// divisors is approximated by logic simulation with a small number of
+// random patterns (Section III-A of the paper). A divisor set is feasible
+// when, on the simulated patterns, equal divisor valuations always imply
+// equal values of V — the sampled version of the classical resubstitution
+// theorem (Theorem 1). For a feasible set, the replacement function is an
+// irredundant sum-of-products computed over the sampled truth table, with
+// all unseen divisor patterns as don't-cares (Section III-B3).
+package resub
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/aig"
+	"repro/internal/espresso"
+	"repro/internal/sim"
+	"repro/internal/tt"
+)
+
+// Config controls candidate generation (Algorithm 2 of the paper).
+type Config struct {
+	// MaxLACsPerNode is the paper's parameter L: at most this many feasible
+	// candidates are produced per node. The paper uses L=1.
+	MaxLACsPerNode int
+	// MaxReplaceTries caps how many TFI-cone nodes are tried as the
+	// replacement divisor u per removed fanin. 0 means the whole cone, as
+	// in the paper; benches set a cap for very large circuits.
+	MaxReplaceTries int
+	// MaxDivisors caps the divisor-set size. The paper's AIG flow uses 2
+	// (Algorithm 1); setting 3 or more enables the triple-divisor
+	// extension, which scans bounded pairs of replacement candidates.
+	MaxDivisors int
+	// DescendingLevels scans the TFI cone from the highest logic level
+	// down (divisors near the node first) instead of the paper's ascending
+	// order. Ablation knob.
+	DescendingLevels bool
+	// UseEspresso derives covers with the Espresso-style minimizer of
+	// package espresso instead of plain Minato ISOP, matching the paper's
+	// tooling. For the ≤2-divisor functions of the AIG flow the two nearly
+	// always coincide; the knob matters for wider divisor sets.
+	UseEspresso bool
+}
+
+// DefaultConfig mirrors the paper's experiment setup: L=1, unbounded cone
+// scan, at most 2 divisors (the AIG flow of Section IV).
+func DefaultConfig() Config {
+	return Config{MaxLACsPerNode: 1, MaxReplaceTries: 0, MaxDivisors: 2}
+}
+
+// LAC is a candidate local approximate change: replace node Node by the
+// sum-of-products Cover evaluated over the Divisors (Cover variable i is
+// the value of Divisors[i]).
+type LAC struct {
+	Node     aig.Node
+	Divisors []aig.Lit
+	Cover    tt.Cover
+
+	// Gain is the structural gain estimate in AND nodes: the node's MFFC
+	// size minus the cost of materializing the cover.
+	Gain int
+	// Err is the estimated circuit error after applying the LAC; filled by
+	// the flow after batch estimation.
+	Err float64
+}
+
+// String renders the LAC for logs.
+func (l *LAC) String() string {
+	return fmt.Sprintf("resub n%d <- %v over %v (gain %d, err %.4g)",
+		l.Node, l.Cover, l.Divisors, l.Gain, l.Err)
+}
+
+// BuildCover checks the feasibility of the divisors for target on the first
+// valid simulated patterns and, when feasible, returns the ISOP cover of
+// the sampled incompletely specified function. ok is false when two
+// patterns agree on every divisor but disagree on the target (Theorem 1
+// violated on the sample).
+func BuildCover(vecs *sim.Vectors, divs []aig.Lit, target aig.Lit, valid int) (tt.Cover, bool) {
+	return BuildCoverWith(vecs, divs, target, valid, tt.ISOP)
+}
+
+// BuildCoverWith is BuildCover with an explicit two-level minimizer
+// (tt.ISOP or espresso.Minimize).
+func BuildCoverWith(vecs *sim.Vectors, divs []aig.Lit, target aig.Lit, valid int,
+	minimize func(on, dc tt.Table) tt.Cover) (tt.Cover, bool) {
+
+	k := len(divs)
+	if k > tt.MaxVars {
+		return nil, false
+	}
+	onset := tt.New(k)
+	care := tt.New(k)
+	for p := 0; p < valid; p++ {
+		key := 0
+		for j, d := range divs {
+			if vecs.LitBit(d, p) {
+				key |= 1 << uint(j)
+			}
+		}
+		v := vecs.LitBit(target, p)
+		if care.Get(key) {
+			if onset.Get(key) != v {
+				return nil, false
+			}
+			continue
+		}
+		care.Set(key, true)
+		if v {
+			onset.Set(key, true)
+		}
+	}
+	return minimize(onset, care.Not()), true
+}
+
+// CoverCost estimates the number of AND nodes needed to materialize a cover
+// over existing divisor signals: each cube with m literals costs m−1 AND
+// nodes and the disjunction of c cubes costs c−1 more.
+func CoverCost(c tt.Cover) int {
+	if len(c) == 0 {
+		return 0
+	}
+	cost := len(c) - 1
+	for _, cube := range c {
+		if n := cube.NumLits(); n > 1 {
+			cost += n - 1
+		}
+	}
+	return cost
+}
+
+// BuildLit materializes the LAC's cover in graph g and returns the literal
+// of the new function. The graph gains nodes; callers normally follow with
+// aig.Graph.CopyWith to substitute and sweep.
+func (l *LAC) BuildLit(g *aig.Graph) aig.Lit {
+	terms := make([]aig.Lit, 0, len(l.Cover))
+	for _, cube := range l.Cover {
+		lits := make([]aig.Lit, 0, len(l.Divisors))
+		for v, d := range l.Divisors {
+			bit := uint32(1) << uint(v)
+			if cube.Pos&bit != 0 {
+				lits = append(lits, d)
+			}
+			if cube.Neg&bit != 0 {
+				lits = append(lits, d.Not())
+			}
+		}
+		terms = append(terms, g.AndN(lits...))
+	}
+	return g.OrN(terms...)
+}
+
+// Apply substitutes the LAC into g and returns the swept result. g itself
+// gains scratch nodes but is otherwise unchanged.
+func (l *LAC) Apply(g *aig.Graph) *aig.Graph {
+	lit := l.BuildLit(g)
+	return g.CopyWith(map[aig.Node]aig.Lit{l.Node: lit})
+}
+
+// EvalVec evaluates the LAC's new function on the divisor value vectors,
+// writing the node's replacement vector into out.
+func (l *LAC) EvalVec(vecs *sim.Vectors, out []uint64) {
+	ins := make([][]uint64, len(l.Divisors))
+	for i, d := range l.Divisors {
+		ins[i] = vecs.LitInto(d, make([]uint64, vecs.Words))
+	}
+	l.Cover.EvalWords(ins, vecs.Words, out)
+}
+
+// Generate produces the LAC candidate set of Algorithm 2: for every AND
+// node, divisor sets from Algorithm 1 are checked for feasibility on the
+// valid patterns of vecs, and feasible ones yield ISOP-based candidates.
+// Candidates whose new structure would be larger than the logic they free
+// are dropped — they cannot shrink the circuit. Zero-gain candidates are
+// kept: exchanging a function for an equally sized one over more distant
+// divisors regularly unlocks sharing for the follow-up optimization pass.
+func Generate(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config) []LAC {
+	levels := g.Levels()
+	refs := g.RefCounts()
+	var lacs []LAC
+	for v := aig.Node(1); int(v) < g.NumNodes(); v++ {
+		if !g.IsAnd(v) {
+			continue
+		}
+		lacs = appendNodeLACs(lacs, g, vecs, valid, cfg, v, levels, refs)
+	}
+	return lacs
+}
+
+// appendNodeLACs implements the per-node part of Algorithm 2 over the
+// divisor sets of Algorithm 1.
+func appendNodeLACs(lacs []LAC, g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config,
+	v aig.Node, levels []int32, refs []int32) []LAC {
+
+	mffc := g.MFFCSize(v, refs)
+	target := aig.MakeLit(v, false)
+	minimize := tt.ISOP
+	if cfg.UseEspresso {
+		minimize = espresso.Minimize
+	}
+
+	// Algorithm 1: the TFI cone of V sorted by logic level.
+	tfi := g.TFICone(v)
+	if cfg.DescendingLevels {
+		sort.SliceStable(tfi, func(i, j int) bool { return levels[tfi[i]] > levels[tfi[j]] })
+	} else {
+		sort.SliceStable(tfi, func(i, j int) bool { return levels[tfi[i]] < levels[tfi[j]] })
+	}
+
+	fanins := [2]aig.Node{g.Fanin0(v).Node(), g.Fanin1(v).Node()}
+	count := 0
+
+	try := func(divs []aig.Lit) bool {
+		if count >= cfg.MaxLACsPerNode {
+			return false
+		}
+		cover, ok := BuildCoverWith(vecs, divs, target, valid, minimize)
+		if !ok {
+			return true // infeasible; keep scanning
+		}
+		gain := mffc - CoverCost(cover)
+		if gain < 0 {
+			// A growing replacement cannot simplify the circuit directly;
+			// skip it (the paper's resubstitutions are cost-reducing).
+			return true
+		}
+		lacs = append(lacs, LAC{
+			Node:     v,
+			Divisors: append([]aig.Lit(nil), divs...),
+			Cover:    cover,
+			Gain:     gain,
+		})
+		count++
+		return count < cfg.MaxLACsPerNode
+	}
+
+	for i := 0; i < 2 && count < cfg.MaxLACsPerNode; i++ {
+		removed := fanins[i]
+		other := fanins[1-i]
+		otherLit := aig.MakeLit(other, false)
+		// Divisor set A: remove fanin i. The constant node is not a useful
+		// divisor; use the empty set then (a constant resubstitution).
+		var a []aig.Lit
+		if other != 0 {
+			a = []aig.Lit{otherLit}
+		}
+		if !try(a) {
+			break
+		}
+		// Divisor sets B: replace the removed fanin by a TFI-cone node.
+		tries := 0
+		var pool []aig.Node // scanned candidates, reused for triples
+		for _, u := range tfi {
+			if count >= cfg.MaxLACsPerNode {
+				break
+			}
+			if cfg.MaxReplaceTries > 0 && tries >= cfg.MaxReplaceTries {
+				break
+			}
+			if u == v || u == removed || u == other || u == 0 {
+				continue
+			}
+			tries++
+			pool = append(pool, u)
+			b := append(a, aig.MakeLit(u, false))
+			if !try(b) {
+				break
+			}
+		}
+		// Extension beyond the paper's AIG flow: when wider divisor sets
+		// are allowed, also try triples {other, u1, u2} over a bounded
+		// prefix of the scanned candidates. Richer functions approximate
+		// more closely at a slightly higher structural cost.
+		if cfg.MaxDivisors >= 3 && count < cfg.MaxLACsPerNode {
+			limit := min(len(pool), 16)
+			for x := 0; x < limit && count < cfg.MaxLACsPerNode; x++ {
+				for y := x + 1; y < limit && count < cfg.MaxLACsPerNode; y++ {
+					b := append(append([]aig.Lit(nil), a...),
+						aig.MakeLit(pool[x], false), aig.MakeLit(pool[y], false))
+					if !try(b) {
+						break
+					}
+				}
+			}
+		}
+	}
+	return lacs
+}

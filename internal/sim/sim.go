@@ -1,0 +1,317 @@
+// Package sim implements 64-way bit-parallel logic simulation over AIGs.
+//
+// A simulation run evaluates the circuit on 64·W input patterns at once,
+// where W is the word count: every node carries a []uint64 whose bit b of
+// word w is the node's value under pattern 64·w+b. This is the workhorse
+// behind ALSRAC's approximate care sets, its feasibility checks, and the
+// batch error estimator.
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/aig"
+)
+
+// Patterns holds input stimuli: In[i] is the value word slice of primary
+// input i, all of length Words. Valid is the number of meaningful patterns;
+// consumers that look at individual patterns (care-set construction,
+// feasibility checks) must ignore bit positions at or beyond Valid. Word-
+// granular consumers (the simulator itself) may process whole words.
+type Patterns struct {
+	Words int
+	Valid int
+	In    [][]uint64
+}
+
+// NumPatterns returns the number of valid input patterns.
+func (p *Patterns) NumPatterns() int { return p.Valid }
+
+// Uniform returns uniformly random patterns for nPIs inputs, seeded
+// deterministically.
+func Uniform(nPIs, words int, seed int64) *Patterns {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Patterns{Words: words, Valid: 64 * words, In: make([][]uint64, nPIs)}
+	for i := range p.In {
+		w := make([]uint64, words)
+		for j := range w {
+			w[j] = rng.Uint64()
+		}
+		p.In[i] = w
+	}
+	return p
+}
+
+// UniformN returns exactly n uniformly random patterns (the backing words
+// are rounded up to a multiple of 64; Valid is set to n). This supports the
+// paper's care-set simulation rounds such as N=32.
+func UniformN(nPIs, n int, seed int64) *Patterns {
+	words := (n + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	p := Uniform(nPIs, words, seed)
+	p.Valid = n
+	return p
+}
+
+// Biased returns patterns where input i is 1 with probability probs[i],
+// independently per pattern. It implements the paper's "user-specified
+// distribution" knob for non-uniform primary inputs.
+func Biased(probs []float64, words int, seed int64) *Patterns {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Patterns{Words: words, Valid: 64 * words, In: make([][]uint64, len(probs))}
+	for i, prob := range probs {
+		w := make([]uint64, words)
+		for j := range w {
+			var word uint64
+			for b := 0; b < 64; b++ {
+				if rng.Float64() < prob {
+					word |= 1 << uint(b)
+				}
+			}
+			w[j] = word
+		}
+		p.In[i] = w
+	}
+	return p
+}
+
+// Exhaustive returns all 2^nPIs input patterns (nPIs ≤ 20). When nPIs < 6
+// the 64-pattern word cycles through the minterms repeatedly, which keeps
+// every pattern equally weighted, so averages over the pattern set are still
+// exact expectations under the uniform distribution.
+func Exhaustive(nPIs int) *Patterns {
+	if nPIs > 20 {
+		panic("sim: Exhaustive limited to 20 inputs")
+	}
+	words := 1
+	if nPIs > 6 {
+		words = 1 << (nPIs - 6)
+	}
+	p := &Patterns{Words: words, Valid: 64 * words, In: make([][]uint64, nPIs)}
+	for i := 0; i < nPIs; i++ {
+		w := make([]uint64, words)
+		if i < 6 {
+			// Repeating intra-word mask.
+			var mask uint64
+			period := uint(1) << uint(i)
+			for b := uint(0); b < 64; b++ {
+				if b&period != 0 {
+					mask |= 1 << b
+				}
+			}
+			for j := range w {
+				w[j] = mask
+			}
+		} else {
+			block := 1 << (i - 6)
+			for j := range w {
+				if j&block != 0 {
+					w[j] = ^uint64(0)
+				}
+			}
+		}
+		p.In[i] = w
+	}
+	return p
+}
+
+// FromFunc builds patterns by calling fill(i, w) for every input, allowing
+// arbitrary (e.g. correlated) stimulus distributions.
+func FromFunc(nPIs, words int, fill func(pi int, w []uint64)) *Patterns {
+	p := &Patterns{Words: words, Valid: 64 * words, In: make([][]uint64, nPIs)}
+	for i := range p.In {
+		w := make([]uint64, words)
+		fill(i, w)
+		p.In[i] = w
+	}
+	return p
+}
+
+// Vectors holds the simulated value words of every node of a graph.
+type Vectors struct {
+	Words int
+	flat  []uint64
+}
+
+// Node returns the value words of node n (a live sub-slice, not a copy).
+func (v *Vectors) Node(n aig.Node) []uint64 {
+	return v.flat[int(n)*v.Words : (int(n)+1)*v.Words]
+}
+
+// LitInto writes the value words of literal l into dst (complementing when
+// needed) and returns dst.
+func (v *Vectors) LitInto(l aig.Lit, dst []uint64) []uint64 {
+	src := v.Node(l.Node())
+	if l.IsCompl() {
+		for i := range dst {
+			dst[i] = ^src[i]
+		}
+	} else {
+		copy(dst, src)
+	}
+	return dst
+}
+
+// LitBit returns the value of literal l under pattern index p.
+func (v *Vectors) LitBit(l aig.Lit, p int) bool {
+	bit := v.Node(l.Node())[p>>6]>>(uint(p)&63)&1 == 1
+	return bit != l.IsCompl()
+}
+
+// Simulate evaluates graph g on the given patterns and returns the value
+// vectors of every node. The pattern input count must match g.NumPIs().
+func Simulate(g *aig.Graph, p *Patterns) *Vectors {
+	if len(p.In) != g.NumPIs() {
+		panic("sim: pattern input count does not match graph")
+	}
+	W := p.Words
+	v := &Vectors{Words: W, flat: make([]uint64, g.NumNodes()*W)}
+	for i := 0; i < g.NumPIs(); i++ {
+		copy(v.Node(g.PI(i)), p.In[i])
+	}
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		evalAnd(g, n, v.Node, v.Node(n))
+	}
+	return v
+}
+
+// evalAnd computes the AND node n into out, reading fanin vectors through
+// the get accessor (which lets callers overlay changed vectors).
+func evalAnd(g *aig.Graph, n aig.Node, get func(aig.Node) []uint64, out []uint64) {
+	f0, f1 := g.Fanin0(n), g.Fanin1(n)
+	a := get(f0.Node())
+	b := get(f1.Node())
+	switch {
+	case !f0.IsCompl() && !f1.IsCompl():
+		for i := range out {
+			out[i] = a[i] & b[i]
+		}
+	case f0.IsCompl() && !f1.IsCompl():
+		for i := range out {
+			out[i] = ^a[i] & b[i]
+		}
+	case !f0.IsCompl() && f1.IsCompl():
+		for i := range out {
+			out[i] = a[i] &^ b[i]
+		}
+	default:
+		for i := range out {
+			out[i] = ^(a[i] | b[i])
+		}
+	}
+}
+
+// POWords collects the primary-output value words of a simulated graph into
+// a freshly allocated [nPOs][Words] slice.
+func POWords(g *aig.Graph, v *Vectors) [][]uint64 {
+	out := make([][]uint64, g.NumPOs())
+	for i := range out {
+		out[i] = v.LitInto(g.PO(i), make([]uint64, v.Words))
+	}
+	return out
+}
+
+// Resimulator incrementally re-simulates the transitive fanout of a single
+// node whose value vector has been replaced, leaving the base Vectors
+// untouched. It is the core primitive of the batch error estimator: one
+// Resimulate call per (node, replacement-vector) pair yields the exact
+// primary-output words the circuit would produce.
+type Resimulator struct {
+	g    *aig.Graph
+	base *Vectors
+	// overlay[n] is non-nil when node n has a recomputed vector.
+	overlay [][]uint64
+	touched []aig.Node
+	pool    [][]uint64
+}
+
+// NewResimulator prepares incremental re-simulation over the given base
+// simulation of graph g.
+func NewResimulator(g *aig.Graph, base *Vectors) *Resimulator {
+	return &Resimulator{g: g, base: base, overlay: make([][]uint64, g.NumNodes())}
+}
+
+func (r *Resimulator) get(n aig.Node) []uint64 {
+	if o := r.overlay[n]; o != nil {
+		return o
+	}
+	return r.base.Node(n)
+}
+
+func (r *Resimulator) alloc() []uint64 {
+	if len(r.pool) > 0 {
+		w := r.pool[len(r.pool)-1]
+		r.pool = r.pool[:len(r.pool)-1]
+		return w
+	}
+	return make([]uint64, r.base.Words)
+}
+
+// Resimulate replaces node n's value vector with newVec, recomputes n's
+// transitive fanout, and returns an accessor for the updated node vectors.
+// The overlay stays valid until the next Resimulate call.
+func (r *Resimulator) Resimulate(n aig.Node, newVec []uint64) func(aig.Node) []uint64 {
+	r.reset()
+	ov := r.alloc()
+	copy(ov, newVec)
+	r.overlay[n] = ov
+	r.touched = append(r.touched, n)
+	for m := n + 1; int(m) < r.g.NumNodes(); m++ {
+		if !r.g.IsAnd(m) {
+			continue
+		}
+		if r.overlay[r.g.Fanin0(m).Node()] == nil && r.overlay[r.g.Fanin1(m).Node()] == nil {
+			continue
+		}
+		out := r.alloc()
+		evalAnd(r.g, m, r.get, out)
+		// Skip nodes whose value did not actually change: this prunes the
+		// fanout frontier the same way event-driven simulation does.
+		if wordsEqual(out, r.base.Node(m)) {
+			r.pool = append(r.pool, out)
+			continue
+		}
+		r.overlay[m] = out
+		r.touched = append(r.touched, m)
+	}
+	return r.get
+}
+
+// POWordsInto evaluates the primary output words under the current overlay,
+// writing PO i into out[i].
+func (r *Resimulator) POWordsInto(out [][]uint64) {
+	for i := 0; i < r.g.NumPOs(); i++ {
+		po := r.g.PO(i)
+		src := r.get(po.Node())
+		dst := out[i]
+		if po.IsCompl() {
+			for j := range dst {
+				dst[j] = ^src[j]
+			}
+		} else {
+			copy(dst, src)
+		}
+	}
+}
+
+func (r *Resimulator) reset() {
+	for _, n := range r.touched {
+		r.pool = append(r.pool, r.overlay[n])
+		r.overlay[n] = nil
+	}
+	r.touched = r.touched[:0]
+}
+
+func wordsEqual(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package tt
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// Cube is a product term over up to MaxVars variables, stored as two
+// bitmasks: Pos has bit v set when the cube contains the positive literal of
+// variable v, Neg when it contains the negative literal. A variable absent
+// from both masks is unconstrained. The empty cube is the tautology.
+type Cube struct {
+	Pos uint32
+	Neg uint32
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int {
+	n := 0
+	for m := c.Pos | c.Neg; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// HasVar reports whether variable v appears (in either phase) in the cube.
+func (c Cube) HasVar(v int) bool { return (c.Pos|c.Neg)>>uint(v)&1 == 1 }
+
+// WithPos returns the cube extended with the positive literal of v.
+func (c Cube) WithPos(v int) Cube { c.Pos |= 1 << uint(v); return c }
+
+// WithNeg returns the cube extended with the negative literal of v.
+func (c Cube) WithNeg(v int) Cube { c.Neg |= 1 << uint(v); return c }
+
+// Contains reports whether c contains d's cube space, i.e. every minterm of
+// d is a minterm of c. This holds exactly when c's literal set is a subset
+// of d's.
+func (c Cube) Contains(d Cube) bool {
+	return c.Pos&^d.Pos == 0 && c.Neg&^d.Neg == 0
+}
+
+// EvalMinterm reports whether the cube covers minterm m (bit v of m is the
+// value of variable v).
+func (c Cube) EvalMinterm(m int) bool {
+	um := uint32(m)
+	return c.Pos&^um == 0 && c.Neg&um == 0
+}
+
+// Table expands the cube into a truth table over n variables.
+func (c Cube) Table(n int) Table {
+	t := Ones(n)
+	for v := 0; v < n; v++ {
+		bit := uint32(1) << uint(v)
+		if c.Pos&bit != 0 {
+			t = t.And(Var(n, v))
+		}
+		if c.Neg&bit != 0 {
+			t = t.And(Var(n, v).Not())
+		}
+	}
+	return t
+}
+
+// String renders the cube with letters a,b,c,... and ' for complement, or
+// "1" for the tautology cube.
+func (c Cube) String() string {
+	if c.Pos == 0 && c.Neg == 0 {
+		return "1"
+	}
+	var sb strings.Builder
+	for v := 0; v < 32; v++ {
+		bit := uint32(1) << uint(v)
+		if c.Pos&bit != 0 {
+			sb.WriteByte(byte('a' + v))
+		}
+		if c.Neg&bit != 0 {
+			sb.WriteByte(byte('a' + v))
+			sb.WriteByte('\'')
+		}
+	}
+	return sb.String()
+}
+
+// Cover is a sum of cubes.
+type Cover []Cube
+
+// Table expands the cover into a truth table over n variables.
+func (cv Cover) Table(n int) Table {
+	t := New(n)
+	for _, c := range cv {
+		t = t.Or(c.Table(n))
+	}
+	return t
+}
+
+// NumLits returns the total literal count of the cover.
+func (cv Cover) NumLits() int {
+	n := 0
+	for _, c := range cv {
+		n += c.NumLits()
+	}
+	return n
+}
+
+// String renders the cover as a sum of products, or "0" when empty.
+func (cv Cover) String() string {
+	if len(cv) == 0 {
+		return "0"
+	}
+	parts := make([]string, len(cv))
+	for i, c := range cv {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// EvalWords evaluates the cover bit-parallel over variable value words:
+// ins[v] holds 64 assignments of variable v per word. The result has the
+// same word count as the inputs. nWords is the number of words per input.
+func (cv Cover) EvalWords(ins [][]uint64, nWords int, out []uint64) {
+	for i := 0; i < nWords; i++ {
+		out[i] = 0
+	}
+	for _, c := range cv {
+		for i := 0; i < nWords; i++ {
+			w := ^uint64(0)
+			for m := c.Pos; m != 0; m &= m - 1 {
+				w &= ins[bits.TrailingZeros32(m)][i]
+			}
+			for m := c.Neg; m != 0; m &= m - 1 {
+				w &= ^ins[bits.TrailingZeros32(m)][i]
+			}
+			out[i] |= w
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package verilog writes AIGs as structural Verilog netlists (assign-style
+// AND/NOT expressions), for handing approximate circuits to downstream
+// ASIC/FPGA tooling. There is no reader: Verilog parsing is out of scope
+// for this reproduction; BLIF and AIGER are the interchange formats.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+
+	"repro/internal/aig"
+)
+
+var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_$]*$`)
+
+// sanitize makes a name a legal Verilog identifier (escaping via
+// substitution, with a fallback positional name).
+func sanitize(name, fallback string) string {
+	if name == "" {
+		return fallback
+	}
+	r := strings.NewReplacer("[", "_", "]", "", ".", "_", "-", "_", ":", "_")
+	name = r.Replace(name)
+	if !identRe.MatchString(name) {
+		return fallback
+	}
+	return name
+}
+
+// Write emits the graph as a single structural Verilog module.
+func Write(w io.Writer, g *aig.Graph) error {
+	bw := bufio.NewWriter(w)
+	modName := sanitize(g.Name, "top")
+
+	piNames := make([]string, g.NumPIs())
+	used := map[string]bool{}
+	uniq := func(base string) string {
+		if !used[base] {
+			used[base] = true
+			return base
+		}
+		for i := 0; ; i++ {
+			c := fmt.Sprintf("%s_%d", base, i)
+			if !used[c] {
+				used[c] = true
+				return c
+			}
+		}
+	}
+	for i := range piNames {
+		piNames[i] = uniq(sanitize(g.PIName(i), fmt.Sprintf("pi%d", i)))
+	}
+	poNames := make([]string, g.NumPOs())
+	for i := range poNames {
+		poNames[i] = uniq(sanitize(g.POName(i), fmt.Sprintf("po%d", i)))
+	}
+
+	fmt.Fprintf(bw, "module %s(%s, %s);\n", modName,
+		strings.Join(piNames, ", "), strings.Join(poNames, ", "))
+	for _, n := range piNames {
+		fmt.Fprintf(bw, "  input %s;\n", n)
+	}
+	for _, n := range poNames {
+		fmt.Fprintf(bw, "  output %s;\n", n)
+	}
+
+	// Signal names per node.
+	sig := make([]string, g.NumNodes())
+	for i := 0; i < g.NumPIs(); i++ {
+		sig[g.PI(i)] = piNames[i]
+	}
+	lit := func(l aig.Lit) string {
+		if l.Node() == 0 {
+			if l.IsCompl() {
+				return "1'b1"
+			}
+			return "1'b0"
+		}
+		s := sig[l.Node()]
+		if l.IsCompl() {
+			return "~" + s
+		}
+		return s
+	}
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		name := fmt.Sprintf("n%d", n)
+		sig[n] = name
+		fmt.Fprintf(bw, "  wire %s;\n", name)
+	}
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if !g.IsAnd(n) {
+			continue
+		}
+		fmt.Fprintf(bw, "  assign %s = %s & %s;\n", sig[n], lit(g.Fanin0(n)), lit(g.Fanin1(n)))
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		fmt.Fprintf(bw, "  assign %s = %s;\n", poNames[i], lit(g.PO(i)))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}

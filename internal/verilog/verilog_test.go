@@ -1,0 +1,92 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/bench"
+)
+
+func render(t *testing.T, g *aig.Graph) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestWriteBasicStructure(t *testing.T) {
+	g := aig.New()
+	g.Name = "half_adder"
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	g.AddPO(g.Xor(a, b), "sum")
+	g.AddPO(g.And(a, b), "carry")
+	out := render(t, g)
+
+	for _, want := range []string{
+		"module half_adder(a, b, sum, carry);",
+		"input a;", "input b;",
+		"output sum;", "output carry;",
+		"endmodule",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "assign") < 3 {
+		t.Errorf("too few assigns:\n%s", out)
+	}
+}
+
+func TestWriteConstantsAndComplements(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("a")
+	g.AddPO(aig.LitTrue, "one")
+	g.AddPO(aig.LitFalse, "zero")
+	g.AddPO(a.Not(), "na")
+	out := render(t, g)
+	if !strings.Contains(out, "assign one = 1'b1;") ||
+		!strings.Contains(out, "assign zero = 1'b0;") ||
+		!strings.Contains(out, "assign na = ~a;") {
+		t.Fatalf("constant/complement emission wrong:\n%s", out)
+	}
+}
+
+func TestSanitizeNames(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("s[3]") // bus-style name needs sanitizing
+	g.AddPI("2bad")      // illegal identifier falls back
+	g.AddPO(a, "out.x")
+	out := render(t, g)
+	if strings.Contains(out, "[") || strings.Contains(out, ".") {
+		t.Fatalf("unsanitized identifiers:\n%s", out)
+	}
+	if !strings.Contains(out, "s_3") || !strings.Contains(out, "pi1") {
+		t.Fatalf("sanitization unexpected:\n%s", out)
+	}
+}
+
+func TestDuplicateNamesDisambiguated(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("x")
+	b := g.AddPI("x")
+	g.AddPO(g.And(a, b), "x")
+	out := render(t, g)
+	if strings.Count(strings.Split(out, "\n")[0], " x,") > 1 {
+		t.Fatalf("duplicate port names survived:\n%s", out)
+	}
+}
+
+func TestWriteBenchmarkCircuits(t *testing.T) {
+	for _, name := range []string{"rca32", "voter", "mtp8"} {
+		g := bench.Get(name)
+		out := render(t, g)
+		if strings.Count(out, "assign") < g.NumAnds() {
+			t.Errorf("%s: fewer assigns than AND gates", name)
+		}
+	}
+}
