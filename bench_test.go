@@ -199,11 +199,16 @@ func BenchmarkAblationBatchVsNaive(b *testing.B) {
 func BenchmarkSimulate(b *testing.B) {
 	g := bench.CLA(32)
 	p := sim.Uniform(g.NumPIs(), 256, 1) // 16384 patterns
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = sim.Simulate(g, p)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v := sim.SimulateWorkers(g, p, workers)
+				v.Release()
+			}
+			b.ReportMetric(float64(g.NumAnds()*256*64), "gate-evals/op")
+		})
 	}
-	b.ReportMetric(float64(g.NumAnds()*256*64), "gate-evals/op")
 }
 
 func BenchmarkISOP(b *testing.B) {
@@ -226,13 +231,18 @@ func BenchmarkEspresso(b *testing.B) {
 	}
 }
 
-func BenchmarkGenerateLACs(b *testing.B) {
+func BenchmarkGenerate(b *testing.B) {
 	g := opt.Optimize(bench.CLA(32))
 	care := sim.UniformN(g.NumPIs(), 32, 7)
 	vecs := sim.Simulate(g, care)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = resub.Generate(g, vecs, care.Valid, resub.DefaultConfig())
+	defer vecs.Release()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = resub.GenerateWorkers(g, vecs, care.Valid, resub.DefaultConfig(), workers)
+			}
+		})
 	}
 }
 

@@ -36,6 +36,7 @@ func main() {
 		flow      = flag.String("flow", "alsrac", "flow: alsrac, sasimi or mcmc")
 		target    = flag.String("target", "asic", "mapping target: asic or lut6")
 		maxDepth  = flag.Float64("maxdepth", 0, "reject changes exceeding this ratio of the original depth (0 = off)")
+		workers   = flag.Int("workers", 0, "worker goroutines for simulation, LAC generation and ranking (0 = all CPUs; results are identical for any value)")
 		verbose   = flag.Bool("v", false, "log flow progress")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 	opts.Patience = *patience
 	opts.Scale = *scale
 	opts.MaxDepthRatio = *maxDepth
+	opts.Workers = *workers
 	if *verbose {
 		opts.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

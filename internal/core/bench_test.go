@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/errest"
+	"repro/internal/resub"
+	"repro/internal/sim"
+)
+
+// BenchmarkRankCandidates measures one candidate-ranking pass — the flow's
+// dominant cost — including the per-iteration batch setup. With pooled
+// buffers the steady-state allocation count per op should stay near zero
+// (only the candidate grouping and goroutine bookkeeping remain).
+func BenchmarkRankCandidates(b *testing.B) {
+	g := rippleAdder(32)
+	evalPats := sim.Uniform(g.NumPIs(), 64, 1) // 4096 patterns
+	ev := errest.NewEvaluator(g, evalPats, errest.ER)
+
+	// A small care set (many don't-cares) so the generator proposes a
+	// realistic candidate batch, as in an early flow iteration.
+	care := sim.UniformN(g.NumPIs(), 32, 7)
+	vecs := sim.SimulateWorkers(g, care, 1)
+	cfg := resub.DefaultConfig()
+	cfg.MaxLACsPerNode = 8
+	gen := ResubGenerator{Cfg: cfg}
+	cands := gen.Generate(g, vecs, care.Valid)
+	vecs.Release()
+	if len(cands) == 0 {
+		b.Fatal("no candidates generated")
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = rankCandidates(ev, g, evalPats, cands, workers)
+			}
+			b.ReportMetric(float64(len(cands)), "candidates")
+		})
+	}
+}

@@ -15,13 +15,17 @@
 package core
 
 import (
-	"sort"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/aig"
 	"repro/internal/errest"
 	"repro/internal/opt"
 	"repro/internal/resub"
 	"repro/internal/sim"
+	"repro/internal/wordops"
 )
 
 // Candidate is one local approximate change proposed by a Generator.
@@ -42,9 +46,20 @@ type Candidate struct {
 
 // Generator proposes candidate LACs for the current circuit, given its
 // value vectors on the care-set patterns (of which the first valid entries
-// are meaningful).
+// are meaningful). Candidates must not retain the care vectors: the flow
+// releases them to the buffer pool once generation finishes, and NewVec is
+// always handed the vectors it should read.
 type Generator interface {
 	Generate(g *aig.Graph, care *sim.Vectors, valid int) []Candidate
+}
+
+// WorkerGenerator is optionally implemented by Generators whose candidate
+// scan shards across worker goroutines. Implementations must produce the
+// same candidates in the same order for every worker count — the flow's
+// determinism guarantee depends on it.
+type WorkerGenerator interface {
+	Generator
+	GenerateWorkers(g *aig.Graph, care *sim.Vectors, valid int, workers int) []Candidate
 }
 
 // ResubGenerator adapts package resub's approximate resubstitution to the
@@ -55,7 +70,12 @@ type ResubGenerator struct {
 
 // Generate implements Generator.
 func (rg ResubGenerator) Generate(g *aig.Graph, care *sim.Vectors, valid int) []Candidate {
-	lacs := resub.Generate(g, care, valid, rg.Cfg)
+	return rg.GenerateWorkers(g, care, valid, 1)
+}
+
+// GenerateWorkers implements WorkerGenerator.
+func (rg ResubGenerator) GenerateWorkers(g *aig.Graph, care *sim.Vectors, valid int, workers int) []Candidate {
+	lacs := resub.GenerateWorkers(g, care, valid, rg.Cfg, workers)
 	out := make([]Candidate, len(lacs))
 	for i := range lacs {
 		lac := lacs[i]
@@ -84,6 +104,12 @@ type Options struct {
 
 	EvalPatterns int   // Monte-Carlo pattern budget for error evaluation
 	Seed         int64 // base seed; every iteration derives fresh patterns
+
+	// Workers is the number of worker goroutines used by the three hot
+	// stages (care-set simulation, LAC generation, candidate ranking) and
+	// the error evaluator. 0 means GOMAXPROCS; 1 runs fully sequential.
+	// Results are bitwise identical for every value.
+	Workers int
 
 	// Patterns supplies input stimuli with n valid patterns for the given
 	// seed; it is used both for error evaluation and for the per-iteration
@@ -171,12 +197,16 @@ func Run(g *aig.Graph, opts Options) Result {
 	if opts.Patterns == nil {
 		opts.Patterns = sim.UniformN
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	nEval := opts.EvalPatterns
 	if nEval < 64 {
 		nEval = 64
 	}
 	evalPats := opts.Patterns(g.NumPIs(), nEval, opts.Seed)
-	ev := errest.NewEvaluator(g, evalPats, opts.Metric)
+	ev := errest.NewEvaluatorWorkers(g, evalPats, opts.Metric, workers)
 
 	cur := g.Sweep()
 	best := cur // smallest circuit seen; error grows monotonically
@@ -195,8 +225,14 @@ func Run(g *aig.Graph, opts Options) Result {
 		iterSeed := opts.Seed + int64(res.Iterations)*7919
 
 		care := opts.Patterns(cur.NumPIs(), n, iterSeed)
-		vecs := sim.Simulate(cur, care)
-		cands := opts.Generator.Generate(cur, vecs, care.Valid)
+		vecs := sim.SimulateWorkers(cur, care, workers)
+		var cands []Candidate
+		if wg, ok := opts.Generator.(WorkerGenerator); ok {
+			cands = wg.GenerateWorkers(cur, vecs, care.Valid, workers)
+		} else {
+			cands = opts.Generator.Generate(cur, vecs, care.Valid)
+		}
+		vecs.Release()
 
 		rec := IterRecord{Iteration: res.Iterations, Rounds: n, Candidates: len(cands)}
 		if len(cands) == 0 {
@@ -216,7 +252,7 @@ func Run(g *aig.Graph, opts Options) Result {
 		}
 		streak = 0
 
-		bestCand := rankCandidates(ev, cur, evalPats, cands)
+		bestCand := rankCandidates(ev, cur, evalPats, cands, workers)
 		if bestCand.Err > opts.Threshold {
 			// Algorithm 3, line 7: even the best candidate violates the
 			// threshold — the flow terminates.
@@ -271,28 +307,69 @@ func Run(g *aig.Graph, opts Options) Result {
 
 // rankCandidates estimates the error of every candidate with the batch
 // estimator and returns the best one (smallest error, then largest gain),
-// or nil when there are no candidates.
-func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, cands []Candidate) *Candidate {
+// or nil when there are no candidates. Candidates are grouped by node so
+// each node's fanout cone is re-simulated once (the batch estimation
+// trick); with workers > 1 the node groups are partitioned across worker
+// goroutines, each owning a Fork of the batch estimator. The reduction is
+// a sequential scan with a fixed tie-break (smallest error, then largest
+// gain, then first in node order), so the winner is independent of worker
+// count and scheduling.
+func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, cands []Candidate, workers int) *Candidate {
 	if len(cands) == 0 {
 		return nil
 	}
-	batch := errest.NewBatch(ev, cur, evalPats)
-	vecs := batch.Vectors()
-	buf := make([]uint64, vecs.Words)
+	slices.SortStableFunc(cands, func(a, b Candidate) int { return int(a.Node) - int(b.Node) })
+	batch := errest.NewBatchWorkers(ev, cur, evalPats, workers)
+	defer batch.Release()
 
-	// Group candidates by node so each node's fanout cone is re-simulated
-	// once (the batch estimation trick).
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Node < cands[j].Node })
-	var prepared aig.Node = -1
-	for i := range cands {
-		c := &cands[i]
-		if c.Node != prepared {
-			batch.Prepare(c.Node)
-			prepared = c.Node
+	// Group boundaries: candidates sharing a node form one work unit.
+	groups := make([][2]int, 0, len(cands))
+	for lo := 0; lo < len(cands); {
+		hi := lo + 1
+		for hi < len(cands) && cands[hi].Node == cands[lo].Node {
+			hi++
 		}
-		c.NewVec(vecs, buf)
-		c.Err = batch.EvalCandidate(c.Node, buf)
+		groups = append(groups, [2]int{lo, hi})
+		lo = hi
 	}
+
+	scan := func(b *errest.Batch, next func() int) {
+		vecs := b.Vectors()
+		buf := wordops.Get(vecs.Words)
+		defer wordops.Put(buf)
+		for {
+			gi := next()
+			if gi >= len(groups) {
+				return
+			}
+			lo, hi := groups[gi][0], groups[gi][1]
+			b.Prepare(cands[lo].Node)
+			for i := lo; i < hi; i++ {
+				c := &cands[i]
+				c.NewVec(vecs, buf)
+				c.Err = b.EvalCandidate(c.Node, buf)
+			}
+		}
+	}
+
+	if workers = sim.Workers(workers, len(groups)); workers <= 1 {
+		seq := 0
+		scan(batch, func() int { seq++; return seq - 1 })
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fork := batch.Fork()
+				defer fork.Release()
+				scan(fork, func() int { return int(next.Add(1)) - 1 })
+			}()
+		}
+		wg.Wait()
+	}
+
 	best := &cands[0]
 	for i := 1; i < len(cands); i++ {
 		c := &cands[i]

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/errest"
+)
+
+// TestRunDeterministicAcrossWorkers: the whole flow must be bitwise
+// reproducible regardless of the worker count — identical iteration
+// history, final AND count and final error.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	for _, metric := range []errest.Metric{errest.ER, errest.NMED} {
+		g := rippleAdder(8)
+		opts := DefaultOptions(metric, 0.01)
+		opts.EvalPatterns = 1024
+		opts.Seed = 3
+
+		opts.Workers = 1
+		seq := Run(g, opts)
+		for _, workers := range []int{2, 8} {
+			opts.Workers = workers
+			par := Run(g, opts)
+			if seq.FinalError != par.FinalError {
+				t.Fatalf("%v workers=%d: FinalError %v vs %v",
+					metric, workers, seq.FinalError, par.FinalError)
+			}
+			if a, b := seq.Graph.NumAnds(), par.Graph.NumAnds(); a != b {
+				t.Fatalf("%v workers=%d: final AND count %d vs %d", metric, workers, a, b)
+			}
+			if seq.Applied != par.Applied || seq.Iterations != par.Iterations {
+				t.Fatalf("%v workers=%d: applied/iterations %d/%d vs %d/%d",
+					metric, workers, seq.Applied, seq.Iterations, par.Applied, par.Iterations)
+			}
+			if !reflect.DeepEqual(seq.History, par.History) {
+				t.Fatalf("%v workers=%d: iteration history differs:\nseq: %+v\npar: %+v",
+					metric, workers, seq.History, par.History)
+			}
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkersGenericGenerator: the generic
+// (non-sharded) Generator path must also be unaffected by the Workers knob.
+func TestRunDeterministicAcrossWorkersGenericGenerator(t *testing.T) {
+	g := rippleAdder(6)
+	opts := DefaultOptions(errest.ER, 0.02)
+	opts.EvalPatterns = 512
+	opts.Generator = constZeroGen{}
+
+	opts.Workers = 1
+	seq := Run(g, opts)
+	opts.Workers = 8
+	par := Run(g, opts)
+	if seq.FinalError != par.FinalError || seq.Graph.NumAnds() != par.Graph.NumAnds() ||
+		!reflect.DeepEqual(seq.History, par.History) {
+		t.Fatalf("generic generator not deterministic across workers")
+	}
+}

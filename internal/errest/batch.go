@@ -3,6 +3,7 @@ package errest
 import (
 	"repro/internal/aig"
 	"repro/internal/sim"
+	"repro/internal/wordops"
 )
 
 // Batch ranks candidate local approximate changes at single nodes using the
@@ -16,6 +17,11 @@ import (
 // whole vector evaluates the single-pattern flip for all patterns at once,
 // reconvergence included — and matches the accuracy of per-candidate
 // resimulation, as the paper notes.
+//
+// A Batch is confined to one goroutine, but Fork returns additional views
+// that share the (read-only) base simulation while owning their own
+// re-simulation state, so disjoint candidate subsets can be ranked
+// concurrently.
 type Batch struct {
 	Eval *Evaluator
 
@@ -23,39 +29,93 @@ type Batch struct {
 	vecs  *sim.Vectors
 	resim *sim.Resimulator
 
-	cur     [][]uint64 // current circuit PO words Y
+	cur     [][]uint64 // current circuit PO words Y (read-only after construction)
 	flipped [][]uint64 // PO words Y' with the prepared node complemented
 	scratch [][]uint64 // candidate PO words Ŷ
 	flipBuf []uint64
 
 	prepared aig.Node
+	isFork   bool
 }
 
 // NewBatch simulates the current circuit g on patterns p and prepares batch
 // estimation against the given evaluator (whose golden values come from the
 // original circuit).
 func NewBatch(ev *Evaluator, g *aig.Graph, p *sim.Patterns) *Batch {
-	vecs := sim.Simulate(g, p)
+	return NewBatchWorkers(ev, g, p, 1)
+}
+
+// NewBatchWorkers is NewBatch with the base simulation sharded over the
+// given number of worker goroutines (0 = GOMAXPROCS).
+func NewBatchWorkers(ev *Evaluator, g *aig.Graph, p *sim.Patterns, workers int) *Batch {
+	vecs := sim.SimulateWorkers(g, p, workers)
 	b := &Batch{
 		Eval:     ev,
 		g:        g,
 		vecs:     vecs,
 		resim:    sim.NewResimulator(g, vecs),
-		cur:      sim.POWords(g, vecs),
+		cur:      allocPO(g.NumPOs(), p.Words),
 		flipped:  allocPO(g.NumPOs(), p.Words),
 		scratch:  allocPO(g.NumPOs(), p.Words),
-		flipBuf:  make([]uint64, p.Words),
+		flipBuf:  wordops.Get(p.Words),
 		prepared: -1,
+	}
+	for i := range b.cur {
+		vecs.LitInto(g.PO(i), b.cur[i])
 	}
 	return b
 }
 
+// Fork returns a Batch sharing the base simulation and current PO words
+// with b but owning its own re-simulation state and scratch buffers, so it
+// can rank candidates on another goroutine concurrently with b. Forks must
+// be released before the root batch.
+func (b *Batch) Fork() *Batch {
+	return &Batch{
+		Eval:     b.Eval,
+		g:        b.g,
+		vecs:     b.vecs,
+		resim:    b.resim.Fork(),
+		cur:      b.cur,
+		flipped:  allocPO(b.g.NumPOs(), b.vecs.Words),
+		scratch:  allocPO(b.g.NumPOs(), b.vecs.Words),
+		flipBuf:  wordops.Get(b.vecs.Words),
+		prepared: -1,
+		isFork:   true,
+	}
+}
+
+// Release returns the batch's buffers to the shared word pool. A fork
+// releases only its private state; the root batch also releases the base
+// simulation (so every fork must be released first). The Batch must not be
+// used afterwards.
+func (b *Batch) Release() {
+	b.resim.Release()
+	releasePO(b.flipped)
+	releasePO(b.scratch)
+	wordops.Put(b.flipBuf)
+	b.flipped, b.scratch, b.flipBuf = nil, nil, nil
+	if !b.isFork {
+		releasePO(b.cur)
+		b.cur = nil
+		b.vecs.Release()
+	}
+	b.vecs = nil
+}
+
 func allocPO(n, words int) [][]uint64 {
-	out := make([][]uint64, n)
+	out := wordops.GetVecsZero(n)
 	for i := range out {
-		out[i] = make([]uint64, words)
+		out[i] = wordops.Get(words)
 	}
 	return out
+}
+
+func releasePO(po [][]uint64) {
+	for _, w := range po {
+		wordops.Put(w)
+	}
+	wordops.PutVecs(po)
 }
 
 // Vectors returns the node value vectors of the current circuit on the
@@ -69,10 +129,7 @@ func (b *Batch) CurrentError() float64 { return b.Eval.EvalPOWords(b.cur) }
 // Prepare computes the flipped output words Y' for node n. It must be
 // called before EvalCandidate for candidates at n.
 func (b *Batch) Prepare(n aig.Node) {
-	base := b.vecs.Node(n)
-	for i, w := range base {
-		b.flipBuf[i] = ^w
-	}
+	wordops.Not(b.flipBuf, b.vecs.Node(n))
 	b.resim.Resimulate(n, b.flipBuf)
 	b.resim.POWordsInto(b.flipped)
 	b.prepared = n
@@ -86,13 +143,7 @@ func (b *Batch) EvalCandidate(n aig.Node, newVec []uint64) float64 {
 	}
 	old := b.vecs.Node(n)
 	for o := range b.scratch {
-		y := b.cur[o]
-		yf := b.flipped[o]
-		dst := b.scratch[o]
-		for w := range dst {
-			c := old[w] ^ newVec[w]
-			dst[w] = y[w]&^c | yf[w]&c
-		}
+		wordops.SelectFlip(b.scratch[o], b.cur[o], b.flipped[o], old, newVec)
 	}
 	return b.Eval.EvalPOWords(b.scratch)
 }

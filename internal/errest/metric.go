@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/sim"
+	"repro/internal/wordops"
 )
 
 // Metric identifies an error metric.
@@ -50,10 +51,11 @@ func (m Metric) String() string {
 // Evaluator measures the error of approximate primary-output words against
 // golden outputs captured from the original circuit on a fixed pattern set.
 type Evaluator struct {
-	metric Metric
-	words  int
-	nPOs   int
-	nPat   int
+	metric  Metric
+	words   int
+	nPOs    int
+	nPat    int
+	workers int
 
 	golden [][]uint64 // golden PO words, one slice per PO
 	// goldenVal[p] is the golden output value of pattern p (value metrics
@@ -67,18 +69,31 @@ type Evaluator struct {
 // MRED) the circuit must have at most 64 primary outputs; wider outputs are
 // outside the supported encoding (the paper's arithmetic benchmarks fit).
 func NewEvaluator(g *aig.Graph, p *sim.Patterns, metric Metric) *Evaluator {
-	v := sim.Simulate(g, p)
-	return NewEvaluatorFromWords(sim.POWords(g, v), p.Words, metric)
+	return NewEvaluatorWorkers(g, p, metric, 1)
+}
+
+// NewEvaluatorWorkers is NewEvaluator with the golden simulation sharded
+// over the given number of worker goroutines (0 = GOMAXPROCS); the worker
+// count is retained and reused by EvalGraph. The evaluator itself is
+// identical for every worker count.
+func NewEvaluatorWorkers(g *aig.Graph, p *sim.Patterns, metric Metric, workers int) *Evaluator {
+	v := sim.SimulateWorkers(g, p, workers)
+	golden := sim.POWords(g, v)
+	v.Release()
+	e := NewEvaluatorFromWords(golden, p.Words, metric)
+	e.workers = workers
+	return e
 }
 
 // NewEvaluatorFromWords builds an evaluator directly from golden PO words.
 func NewEvaluatorFromWords(golden [][]uint64, words int, metric Metric) *Evaluator {
 	e := &Evaluator{
-		metric: metric,
-		words:  words,
-		nPOs:   len(golden),
-		nPat:   64 * words,
-		golden: golden,
+		metric:  metric,
+		words:   words,
+		nPOs:    len(golden),
+		nPat:    64 * words,
+		workers: 1,
+		golden:  golden,
 	}
 	if metric != ER {
 		if e.nPOs > 64 {
@@ -100,7 +115,9 @@ func (e *Evaluator) Words() int { return e.words }
 // NumPatterns returns the number of evaluation patterns.
 func (e *Evaluator) NumPatterns() int { return e.nPat }
 
-// EvalPOWords computes the metric for the given approximate PO words.
+// EvalPOWords computes the metric for the given approximate PO words. It
+// only reads evaluator state, so it is safe to call concurrently (the batch
+// ranking workers do).
 func (e *Evaluator) EvalPOWords(approx [][]uint64) float64 {
 	if len(approx) != e.nPOs {
 		panic("errest: PO count mismatch")
@@ -118,10 +135,20 @@ func (e *Evaluator) EvalPOWords(approx [][]uint64) float64 {
 
 // EvalGraph simulates an approximate circuit on the evaluator's patterns
 // and returns its error. The circuit must have the same PI/PO interface as
-// the original.
+// the original. Simulation uses the evaluator's worker count and pooled
+// buffers throughout.
 func (e *Evaluator) EvalGraph(g *aig.Graph, p *sim.Patterns) float64 {
-	v := sim.Simulate(g, p)
-	return e.EvalPOWords(sim.POWords(g, v))
+	v := sim.SimulateWorkers(g, p, e.workers)
+	approx := make([][]uint64, g.NumPOs())
+	for i := range approx {
+		approx[i] = v.LitInto(g.PO(i), wordops.Get(v.Words))
+	}
+	err := e.EvalPOWords(approx)
+	for _, w := range approx {
+		wordops.Put(w)
+	}
+	v.Release()
+	return err
 }
 
 func (e *Evaluator) errorRate(approx [][]uint64) float64 {
@@ -137,7 +164,9 @@ func (e *Evaluator) errorRate(approx [][]uint64) float64 {
 }
 
 func (e *Evaluator) meanED(approx [][]uint64, relative bool) float64 {
-	vals := make([]uint64, 64)
+	// Stack-allocated scratch keeps concurrent calls allocation-free.
+	var valsArr [64]uint64
+	vals := valsArr[:]
 	sum := 0.0
 	for w := 0; w < e.words; w++ {
 		transposeWord(approx, w, vals)

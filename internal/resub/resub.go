@@ -14,11 +14,14 @@ package resub
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/aig"
 	"repro/internal/espresso"
 	"repro/internal/sim"
 	"repro/internal/tt"
+	"repro/internal/wordops"
 )
 
 // Config controls candidate generation (Algorithm 2 of the paper).
@@ -160,13 +163,27 @@ func (l *LAC) Apply(g *aig.Graph) *aig.Graph {
 }
 
 // EvalVec evaluates the LAC's new function on the divisor value vectors,
-// writing the node's replacement vector into out.
+// writing the node's replacement vector into out. Plain divisors alias the
+// value vectors directly and complemented ones use pooled scratch, so
+// steady-state calls do not allocate.
 func (l *LAC) EvalVec(vecs *sim.Vectors, out []uint64) {
-	ins := make([][]uint64, len(l.Divisors))
+	var ins [tt.MaxVars][]uint64
+	var owned [tt.MaxVars]bool
 	for i, d := range l.Divisors {
-		ins[i] = vecs.LitInto(d, make([]uint64, vecs.Words))
+		if d.IsCompl() {
+			buf := wordops.Get(vecs.Words)
+			wordops.Not(buf, vecs.Node(d.Node()))
+			ins[i], owned[i] = buf, true
+		} else {
+			ins[i] = vecs.Node(d.Node())
+		}
 	}
-	l.Cover.EvalWords(ins, vecs.Words, out)
+	l.Cover.EvalWords(ins[:len(l.Divisors)], vecs.Words, out)
+	for i := range l.Divisors {
+		if owned[i] {
+			wordops.Put(ins[i])
+		}
+	}
 }
 
 // Generate produces the LAC candidate set of Algorithm 2: for every AND
@@ -177,16 +194,73 @@ func (l *LAC) EvalVec(vecs *sim.Vectors, out []uint64) {
 // kept: exchanging a function for an equally sized one over more distant
 // divisors regularly unlocks sharing for the follow-up optimization pass.
 func Generate(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config) []LAC {
+	return GenerateWorkers(g, vecs, valid, cfg, 1)
+}
+
+// GenerateWorkers is Generate with the per-node scan sharded across worker
+// goroutines (0 = GOMAXPROCS). Per-node candidate generation only reads the
+// shared graph, levels and value vectors — each worker owns a private copy
+// of the reference counts, which the MFFC computation temporarily mutates —
+// and per-chunk outputs are concatenated in node order, so the candidate
+// list is identical to the sequential scan for every worker count.
+func GenerateWorkers(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, workers int) []LAC {
 	levels := g.Levels()
 	refs := g.RefCounts()
-	var lacs []LAC
+
+	var ands []aig.Node
 	for v := aig.Node(1); int(v) < g.NumNodes(); v++ {
-		if !g.IsAnd(v) {
-			continue
+		if g.IsAnd(v) {
+			ands = append(ands, v)
 		}
-		lacs = appendNodeLACs(lacs, g, vecs, valid, cfg, v, levels, refs)
 	}
-	return lacs
+	workers = sim.Workers(workers, len(ands))
+	if workers <= 1 {
+		var lacs []LAC
+		for _, v := range ands {
+			lacs = appendNodeLACs(lacs, g, vecs, valid, cfg, v, levels, refs)
+		}
+		return lacs
+	}
+
+	// Workers draw small contiguous node chunks from an atomic counter —
+	// late nodes have larger TFI cones, so fixed per-worker halves would
+	// imbalance badly — and chunks are merged in index order afterwards.
+	const chunkNodes = 16
+	nChunks := (len(ands) + chunkNodes - 1) / chunkNodes
+	results := make([][]LAC, nChunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			myRefs := append([]int32(nil), refs...)
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * chunkNodes
+				hi := min(lo+chunkNodes, len(ands))
+				var lacs []LAC
+				for _, v := range ands[lo:hi] {
+					lacs = appendNodeLACs(lacs, g, vecs, valid, cfg, v, levels, myRefs)
+				}
+				results[c] = lacs
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]LAC, 0, total)
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
 }
 
 // appendNodeLACs implements the per-node part of Algorithm 2 over the

@@ -1,0 +1,235 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+)
+
+// randomAIG builds a random DAG with nPIs inputs, nAnds AND attempts and a
+// few POs. Structural hashing may fold some ANDs; that is fine for the
+// property tests here.
+func randomAIG(rng *rand.Rand, nPIs, nAnds, nPOs int) *aig.Graph {
+	g := aig.New()
+	lits := g.AddPIs(nPIs, "x")
+	for i := 0; i < nAnds; i++ {
+		a := lits[rng.Intn(len(lits))].NotCond(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotCond(rng.Intn(2) == 0)
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < nPOs; i++ {
+		g.AddPO(lits[rng.Intn(len(lits))].NotCond(rng.Intn(2) == 0), "f")
+	}
+	return g
+}
+
+// TestSimulateWorkersBitwiseIdentical: word-column sharding must reproduce
+// the sequential simulation exactly, for every worker count (including
+// counts that do not divide the word count and counts above it).
+func TestSimulateWorkersBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		g := randomAIG(rng, 8, 60, 4)
+		p := Uniform(g.NumPIs(), 7, int64(trial+1)) // 7 words: odd on purpose
+		ref := SimulateWorkers(g, p, 1)
+		for _, workers := range []int{2, 3, 4, 8, 16} {
+			v := SimulateWorkers(g, p, workers)
+			for n := aig.Node(0); int(n) < g.NumNodes(); n++ {
+				for w := 0; w < p.Words; w++ {
+					if v.Node(n)[w] != ref.Node(n)[w] {
+						t.Fatalf("trial %d workers %d: node %d word %d differs",
+							trial, workers, n, w)
+					}
+				}
+			}
+			v.Release()
+		}
+		ref.Release()
+	}
+}
+
+// TestVectorsPoolReuse: releasing and re-simulating must not leak stale
+// values through the pooled backing array — in particular the constant
+// node's vector must be re-zeroed.
+func TestVectorsPoolReuse(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("a")
+	g.AddPO(g.And(a, a.Not()), "zero") // folds to constant false
+	g.AddPO(a, "a")
+
+	p := Exhaustive(1)
+	for round := 0; round < 3; round++ {
+		v := Simulate(g, p)
+		if got := v.Node(0)[0]; got != 0 {
+			t.Fatalf("round %d: constant node vector = %x, want 0", round, got)
+		}
+		if got := v.LitInto(g.PO(0), make([]uint64, 1))[0]; got != 0 {
+			t.Fatalf("round %d: constant PO = %x, want 0", round, got)
+		}
+		// Dirty the buffer before releasing so reuse bugs surface.
+		for i := range v.flat {
+			v.flat[i] = ^uint64(0)
+		}
+		v.Release()
+	}
+}
+
+// fullRescanResimulate reproduces the pre-event-queue Resimulator behavior:
+// scan EVERY node above n and re-evaluate those with a changed fanin. It is
+// the reference the event-driven implementation must match.
+func fullRescanResimulate(g *aig.Graph, base *Vectors, n aig.Node, newVec []uint64, out [][]uint64) {
+	overlay := make([][]uint64, g.NumNodes())
+	overlay[n] = append([]uint64(nil), newVec...)
+	get := func(m aig.Node) []uint64 {
+		if o := overlay[m]; o != nil {
+			return o
+		}
+		return base.Node(m)
+	}
+	for m := n + 1; int(m) < g.NumNodes(); m++ {
+		if !g.IsAnd(m) {
+			continue
+		}
+		if overlay[g.Fanin0(m).Node()] == nil && overlay[g.Fanin1(m).Node()] == nil {
+			continue
+		}
+		buf := make([]uint64, base.Words)
+		evalAnd(g, m, get, buf)
+		eq := true
+		for i := range buf {
+			if buf[i] != base.Node(m)[i] {
+				eq = false
+				break
+			}
+		}
+		if eq {
+			continue
+		}
+		overlay[m] = buf
+	}
+	for i := 0; i < g.NumPOs(); i++ {
+		po := g.PO(i)
+		src := get(po.Node())
+		for w := range out[i] {
+			if po.IsCompl() {
+				out[i][w] = ^src[w]
+			} else {
+				out[i][w] = src[w]
+			}
+		}
+	}
+}
+
+// TestResimulatorEventDrivenMatchesFullRescan: property test on random AIGs
+// — for random (node, replacement-vector) pairs the event-driven TFO walk
+// must produce the same PO words as the old full-rescan sweep.
+func TestResimulatorEventDrivenMatchesFullRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		g := randomAIG(rng, 6+rng.Intn(6), 30+rng.Intn(120), 1+rng.Intn(5))
+		if g.NumAnds() == 0 {
+			continue
+		}
+		p := Uniform(g.NumPIs(), 1+rng.Intn(4), int64(trial))
+		base := Simulate(g, p)
+		r := NewResimulator(g, base)
+		got := make([][]uint64, g.NumPOs())
+		want := make([][]uint64, g.NumPOs())
+		for i := range got {
+			got[i] = make([]uint64, base.Words)
+			want[i] = make([]uint64, base.Words)
+		}
+		for rep := 0; rep < 10; rep++ {
+			var n aig.Node
+			for {
+				n = aig.Node(rng.Intn(g.NumNodes()-1) + 1)
+				if g.IsAnd(n) {
+					break
+				}
+			}
+			newVec := make([]uint64, base.Words)
+			for w := range newVec {
+				newVec[w] = rng.Uint64()
+			}
+			r.Resimulate(n, newVec)
+			r.POWordsInto(got)
+			fullRescanResimulate(g, base, n, newVec, want)
+			for i := range want {
+				for w := range want[i] {
+					if got[i][w] != want[i][w] {
+						t.Fatalf("trial %d rep %d node %d: PO %d word %d: event-driven %x, full rescan %x",
+							trial, rep, n, i, w, got[i][w], want[i][w])
+					}
+				}
+			}
+		}
+		r.Release()
+		base.Release()
+	}
+}
+
+// TestResimulatorForkIndependence: a Fork must share base values but keep
+// its own overlay, so interleaved Resimulate calls cannot interfere.
+func TestResimulatorForkIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	g := randomAIG(rng, 6, 40, 3)
+	p := Uniform(g.NumPIs(), 2, 9)
+	base := Simulate(g, p)
+	r := NewResimulator(g, base)
+	f := r.Fork()
+
+	var n1, n2 aig.Node
+	for {
+		n1 = aig.Node(rng.Intn(g.NumNodes()-1) + 1)
+		if g.IsAnd(n1) {
+			break
+		}
+	}
+	for {
+		n2 = aig.Node(rng.Intn(g.NumNodes()-1) + 1)
+		if g.IsAnd(n2) && n2 != n1 {
+			break
+		}
+	}
+	v1 := make([]uint64, base.Words)
+	v2 := make([]uint64, base.Words)
+	for w := range v1 {
+		v1[w] = rng.Uint64()
+		v2[w] = rng.Uint64()
+	}
+
+	want1 := make([][]uint64, g.NumPOs())
+	want2 := make([][]uint64, g.NumPOs())
+	got := make([][]uint64, g.NumPOs())
+	for i := range got {
+		want1[i] = make([]uint64, base.Words)
+		want2[i] = make([]uint64, base.Words)
+		got[i] = make([]uint64, base.Words)
+	}
+	fullRescanResimulate(g, base, n1, v1, want1)
+	fullRescanResimulate(g, base, n2, v2, want2)
+
+	// Interleave: root resimulates n1, fork resimulates n2, then read both.
+	r.Resimulate(n1, v1)
+	f.Resimulate(n2, v2)
+	r.POWordsInto(got)
+	for i := range got {
+		for w := range got[i] {
+			if got[i][w] != want1[i][w] {
+				t.Fatalf("root PO %d word %d: %x want %x", i, w, got[i][w], want1[i][w])
+			}
+		}
+	}
+	f.POWordsInto(got)
+	for i := range got {
+		for w := range got[i] {
+			if got[i][w] != want2[i][w] {
+				t.Fatalf("fork PO %d word %d: %x want %x", i, w, got[i][w], want2[i][w])
+			}
+		}
+	}
+	f.Release()
+	r.Release()
+	base.Release()
+}

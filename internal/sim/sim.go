@@ -5,12 +5,21 @@
 // word w is the node's value under pattern 64·w+b. This is the workhorse
 // behind ALSRAC's approximate care sets, its feasibility checks, and the
 // batch error estimator.
+//
+// Word columns are independent under bit-parallel evaluation, so Simulate
+// can shard the [0, Words) range across worker goroutines (see
+// SimulateWorkers): every worker evaluates the full topological order over
+// its own word chunk, writing disjoint sub-ranges of every node vector.
+// The result is bitwise identical for every worker count.
 package sim
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/aig"
+	"repro/internal/wordops"
 )
 
 // Patterns holds input stimuli: In[i] is the value word slice of primary
@@ -129,10 +138,49 @@ func FromFunc(nPIs, words int, fill func(pi int, w []uint64)) *Patterns {
 	return p
 }
 
+// Workers resolves a worker-count knob against the number of shardable work
+// units: n ≤ 0 means GOMAXPROCS, and the result never exceeds units (nor
+// drops below 1).
+func Workers(n, units int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > units {
+		n = units
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Vectors holds the simulated value words of every node of a graph.
 type Vectors struct {
 	Words int
 	flat  []uint64
+}
+
+// NewVectors returns a Vectors able to hold vectors of `words` words for
+// `nodes` nodes. The backing array is drawn from the shared word pool; the
+// constant node's words are zeroed, all other node vectors are expected to
+// be fully written by simulation before being read.
+func NewVectors(nodes, words int) *Vectors {
+	flat := wordops.Get(nodes * words)
+	for i := 0; i < words; i++ {
+		flat[i] = 0
+	}
+	return &Vectors{Words: words, flat: flat}
+}
+
+// Release returns the backing array to the shared word pool. The Vectors
+// (and every slice previously obtained from Node) must not be used
+// afterwards. Release on an already-released or nil Vectors is a no-op.
+func (v *Vectors) Release() {
+	if v == nil || v.flat == nil {
+		return
+	}
+	wordops.Put(v.flat)
+	v.flat = nil
 }
 
 // Node returns the value words of node n (a live sub-slice, not a copy).
@@ -143,14 +191,7 @@ func (v *Vectors) Node(n aig.Node) []uint64 {
 // LitInto writes the value words of literal l into dst (complementing when
 // needed) and returns dst.
 func (v *Vectors) LitInto(l aig.Lit, dst []uint64) []uint64 {
-	src := v.Node(l.Node())
-	if l.IsCompl() {
-		for i := range dst {
-			dst[i] = ^src[i]
-		}
-	} else {
-		copy(dst, src)
-	}
+	wordops.CopyOrNot(dst, v.Node(l.Node()), l.IsCompl())
 	return dst
 }
 
@@ -162,48 +203,63 @@ func (v *Vectors) LitBit(l aig.Lit, p int) bool {
 
 // Simulate evaluates graph g on the given patterns and returns the value
 // vectors of every node. The pattern input count must match g.NumPIs().
-func Simulate(g *aig.Graph, p *Patterns) *Vectors {
+// It runs on the calling goroutine; see SimulateWorkers for the sharded
+// version (the results are bitwise identical).
+func Simulate(g *aig.Graph, p *Patterns) *Vectors { return SimulateWorkers(g, p, 1) }
+
+// SimulateWorkers evaluates graph g on the given patterns with the given
+// number of worker goroutines (0 = GOMAXPROCS). The word range [0, Words)
+// is split into one chunk per worker; each worker evaluates the full
+// topological order over its chunk, so the result is bitwise identical to
+// the sequential evaluation regardless of the worker count.
+func SimulateWorkers(g *aig.Graph, p *Patterns, workers int) *Vectors {
 	if len(p.In) != g.NumPIs() {
 		panic("sim: pattern input count does not match graph")
 	}
 	W := p.Words
-	v := &Vectors{Words: W, flat: make([]uint64, g.NumNodes()*W)}
+	v := NewVectors(g.NumNodes(), W)
 	for i := 0; i < g.NumPIs(); i++ {
 		copy(v.Node(g.PI(i)), p.In[i])
 	}
+	workers = Workers(workers, W)
+	if workers <= 1 {
+		simulateRange(g, v, 0, W)
+		return v
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*W/workers, (w+1)*W/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			simulateRange(g, v, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return v
+}
+
+// simulateRange evaluates every AND node over the word sub-range [lo, hi).
+func simulateRange(g *aig.Graph, v *Vectors, lo, hi int) {
 	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
 		if !g.IsAnd(n) {
 			continue
 		}
-		evalAnd(g, n, v.Node, v.Node(n))
+		f0, f1 := g.Fanin0(n), g.Fanin1(n)
+		wordops.And(v.Node(n)[lo:hi],
+			v.Node(f0.Node())[lo:hi], v.Node(f1.Node())[lo:hi],
+			f0.IsCompl(), f1.IsCompl())
 	}
-	return v
 }
 
 // evalAnd computes the AND node n into out, reading fanin vectors through
 // the get accessor (which lets callers overlay changed vectors).
 func evalAnd(g *aig.Graph, n aig.Node, get func(aig.Node) []uint64, out []uint64) {
 	f0, f1 := g.Fanin0(n), g.Fanin1(n)
-	a := get(f0.Node())
-	b := get(f1.Node())
-	switch {
-	case !f0.IsCompl() && !f1.IsCompl():
-		for i := range out {
-			out[i] = a[i] & b[i]
-		}
-	case f0.IsCompl() && !f1.IsCompl():
-		for i := range out {
-			out[i] = ^a[i] & b[i]
-		}
-	case !f0.IsCompl() && f1.IsCompl():
-		for i := range out {
-			out[i] = a[i] &^ b[i]
-		}
-	default:
-		for i := range out {
-			out[i] = ^(a[i] | b[i])
-		}
-	}
+	wordops.And(out, get(f0.Node()), get(f1.Node()), f0.IsCompl(), f1.IsCompl())
 }
 
 // POWords collects the primary-output value words of a simulated graph into
@@ -221,19 +277,88 @@ func POWords(g *aig.Graph, v *Vectors) [][]uint64 {
 // untouched. It is the core primitive of the batch error estimator: one
 // Resimulate call per (node, replacement-vector) pair yields the exact
 // primary-output words the circuit would produce.
+//
+// The fanout adjacency of the graph is computed once at construction, so
+// Resimulate walks an event queue over the actual transitive fanout of the
+// changed node instead of scanning every node above it.
 type Resimulator struct {
 	g    *aig.Graph
 	base *Vectors
+
+	// AND-node fanouts of every node in CSR form, shared across Forks.
+	foStart []int32
+	foList  []int32
+
 	// overlay[n] is non-nil when node n has a recomputed vector.
 	overlay [][]uint64
-	touched []aig.Node
+	touched []int32
 	pool    [][]uint64
+
+	// Event queue: a binary min-heap of node ids, so fanouts are processed
+	// in topological (increasing-id) order and each at most once.
+	heap   []int32
+	inHeap []bool
+
+	// isFork marks Resimulators that share foStart/foList with their root;
+	// only the root returns the adjacency to the pool on Release.
+	isFork bool
 }
 
 // NewResimulator prepares incremental re-simulation over the given base
 // simulation of graph g.
 func NewResimulator(g *aig.Graph, base *Vectors) *Resimulator {
-	return &Resimulator{g: g, base: base, overlay: make([][]uint64, g.NumNodes())}
+	n := g.NumNodes()
+	start := wordops.GetI32(n + 1)
+	for i := range start {
+		start[i] = 0
+	}
+	for m := aig.Node(1); int(m) < n; m++ {
+		if !g.IsAnd(m) {
+			continue
+		}
+		start[g.Fanin0(m).Node()+1]++
+		start[g.Fanin1(m).Node()+1]++
+	}
+	for i := 1; i <= n; i++ {
+		start[i] += start[i-1]
+	}
+	list := wordops.GetI32(int(start[n]))
+	fill := wordops.GetI32(n)
+	copy(fill, start[:n])
+	for m := aig.Node(1); int(m) < n; m++ {
+		if !g.IsAnd(m) {
+			continue
+		}
+		for _, f := range [2]aig.Node{g.Fanin0(m).Node(), g.Fanin1(m).Node()} {
+			list[fill[f]] = int32(m)
+			fill[f]++
+		}
+	}
+	wordops.PutI32(fill)
+	return &Resimulator{
+		g: g, base: base, foStart: start, foList: list,
+		overlay: wordops.GetVecsZero(n),
+		touched: wordops.GetI32(n)[:0],
+		pool:    wordops.GetVecsZero(n)[:0],
+		heap:    wordops.GetI32(n)[:0],
+		inHeap:  wordops.GetBoolZero(n),
+	}
+}
+
+// Fork returns a Resimulator that shares the graph, base vectors and fanout
+// adjacency with r but owns its own overlay state, so it can run on another
+// goroutine concurrently with r (the base vectors are only read).
+func (r *Resimulator) Fork() *Resimulator {
+	n := r.g.NumNodes()
+	return &Resimulator{
+		g: r.g, base: r.base, foStart: r.foStart, foList: r.foList,
+		overlay: wordops.GetVecsZero(n),
+		touched: wordops.GetI32(n)[:0],
+		pool:    wordops.GetVecsZero(n)[:0],
+		heap:    wordops.GetI32(n)[:0],
+		inHeap:  wordops.GetBoolZero(n),
+		isFork:  true,
+	}
 }
 
 func (r *Resimulator) get(n aig.Node) []uint64 {
@@ -249,7 +374,7 @@ func (r *Resimulator) alloc() []uint64 {
 		r.pool = r.pool[:len(r.pool)-1]
 		return w
 	}
-	return make([]uint64, r.base.Words)
+	return wordops.Get(r.base.Words)
 }
 
 // Resimulate replaces node n's value vector with newVec, recomputes n's
@@ -260,26 +385,69 @@ func (r *Resimulator) Resimulate(n aig.Node, newVec []uint64) func(aig.Node) []u
 	ov := r.alloc()
 	copy(ov, newVec)
 	r.overlay[n] = ov
-	r.touched = append(r.touched, n)
-	for m := n + 1; int(m) < r.g.NumNodes(); m++ {
-		if !r.g.IsAnd(m) {
-			continue
-		}
-		if r.overlay[r.g.Fanin0(m).Node()] == nil && r.overlay[r.g.Fanin1(m).Node()] == nil {
-			continue
-		}
+	r.touched = append(r.touched, int32(n))
+	r.pushFanouts(n)
+	for len(r.heap) > 0 {
+		m := aig.Node(r.popMin())
 		out := r.alloc()
 		evalAnd(r.g, m, r.get, out)
 		// Skip nodes whose value did not actually change: this prunes the
 		// fanout frontier the same way event-driven simulation does.
-		if wordsEqual(out, r.base.Node(m)) {
+		if wordops.Equal(out, r.base.Node(m)) {
 			r.pool = append(r.pool, out)
 			continue
 		}
 		r.overlay[m] = out
-		r.touched = append(r.touched, m)
+		r.touched = append(r.touched, int32(m))
+		r.pushFanouts(m)
 	}
 	return r.get
+}
+
+// pushFanouts queues the AND fanouts of n for re-evaluation. A node is
+// queued at most once: all its potential enqueuers have smaller ids, and
+// the heap pops ids in increasing order, so once a node is popped no later
+// event can target it again.
+func (r *Resimulator) pushFanouts(n aig.Node) {
+	for _, m := range r.foList[r.foStart[n]:r.foStart[n+1]] {
+		if r.inHeap[m] {
+			continue
+		}
+		r.inHeap[m] = true
+		r.heap = append(r.heap, m)
+		for i := len(r.heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if r.heap[p] <= r.heap[i] {
+				break
+			}
+			r.heap[p], r.heap[i] = r.heap[i], r.heap[p]
+			i = p
+		}
+	}
+}
+
+func (r *Resimulator) popMin() int32 {
+	m := r.heap[0]
+	last := len(r.heap) - 1
+	r.heap[0] = r.heap[last]
+	r.heap = r.heap[:last]
+	for i := 0; ; {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < last && r.heap[l] < r.heap[small] {
+			small = l
+		}
+		if rr < last && r.heap[rr] < r.heap[small] {
+			small = rr
+		}
+		if small == i {
+			break
+		}
+		r.heap[i], r.heap[small] = r.heap[small], r.heap[i]
+		i = small
+	}
+	r.inHeap[m] = false
+	return m
 }
 
 // POWordsInto evaluates the primary output words under the current overlay,
@@ -287,15 +455,7 @@ func (r *Resimulator) Resimulate(n aig.Node, newVec []uint64) func(aig.Node) []u
 func (r *Resimulator) POWordsInto(out [][]uint64) {
 	for i := 0; i < r.g.NumPOs(); i++ {
 		po := r.g.PO(i)
-		src := r.get(po.Node())
-		dst := out[i]
-		if po.IsCompl() {
-			for j := range dst {
-				dst[j] = ^src[j]
-			}
-		} else {
-			copy(dst, src)
-		}
+		wordops.CopyOrNot(out[i], r.get(po.Node()), po.IsCompl())
 	}
 }
 
@@ -307,11 +467,24 @@ func (r *Resimulator) reset() {
 	r.touched = r.touched[:0]
 }
 
-func wordsEqual(a, b []uint64) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
+// Release returns the Resimulator's scratch vectors and scaffolding arrays
+// to the shared pools. The Resimulator must not be used afterwards; Forks
+// must be released before their root (the root owns the shared fanout
+// adjacency).
+func (r *Resimulator) Release() {
+	r.reset()
+	for _, w := range r.pool {
+		wordops.Put(w)
 	}
-	return true
+	wordops.PutVecs(r.pool)
+	wordops.PutVecs(r.overlay) // all-nil after reset
+	wordops.PutI32(r.touched)
+	wordops.PutI32(r.heap) // empty: every Resimulate drains the queue
+	wordops.PutBool(r.inHeap)
+	r.pool, r.overlay, r.touched, r.heap, r.inHeap = nil, nil, nil, nil, nil
+	if !r.isFork {
+		wordops.PutI32(r.foStart)
+		wordops.PutI32(r.foList)
+		r.foStart, r.foList = nil, nil
+	}
 }

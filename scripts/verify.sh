@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, vet, the full test suite, then the race
+# detector over the concurrency-bearing packages.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/errest ./internal/core
