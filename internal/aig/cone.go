@@ -1,5 +1,79 @@
 package aig
 
+import "math"
+
+// LevelOrder returns the non-constant nodes grouped by logic level in CSR
+// form: order holds the ids 1..NumNodes−1 sorted by (level, id), and
+// order[start[l]:start[l+1]] is exactly the nodes at level l (len(start) is
+// maxLevel+2). levels must come from Levels on the same graph. Computed
+// once, the order lets per-node consumers enumerate any node subset in
+// level order — ascending or descending — without re-sorting (package
+// resub's divisor scan visits every TFI cone this way).
+func (g *Graph) LevelOrder(levels []int32) (order []Node, start []int32) {
+	maxLev := int32(0)
+	for _, l := range levels[1:] {
+		if l > maxLev {
+			maxLev = l
+		}
+	}
+	start = make([]int32, maxLev+2)
+	for _, l := range levels[1:] {
+		start[l+1]++
+	}
+	for l := int32(1); l < int32(len(start)); l++ {
+		start[l] += start[l-1]
+	}
+	order = make([]Node, len(levels)-1)
+	fill := append([]int32(nil), start...)
+	for n := 1; n < len(levels); n++ {
+		l := levels[n]
+		order[fill[l]] = Node(n)
+		fill[l]++
+	}
+	return order, start
+}
+
+// ConeMarker answers transitive-fanin membership queries with an
+// epoch-stamped scratch array: marking a new cone bumps the epoch instead
+// of clearing the previous marks, so repeated per-node cone queries over
+// one graph allocate nothing and never pay an O(nodes) clear. A marker is
+// confined to one goroutine; concurrent scans each own their own.
+type ConeMarker struct {
+	stamp []int32
+	epoch int32
+}
+
+// NewConeMarker returns a marker sized for graph g.
+func NewConeMarker(g *Graph) *ConeMarker {
+	return &ConeMarker{stamp: make([]int32, g.NumNodes())}
+}
+
+// MarkTFI stamps the transitive-fanin cone of n (including n and the PIs in
+// the cone, excluding the constant node), replacing the previously marked
+// cone. It runs the same backward id sweep as TFICone.
+func (m *ConeMarker) MarkTFI(g *Graph, n Node) {
+	if m.epoch == math.MaxInt32 {
+		for i := range m.stamp {
+			m.stamp[i] = 0
+		}
+		m.epoch = 0
+	}
+	m.epoch++
+	m.stamp[n] = m.epoch
+	for i := n; i >= 1; i-- {
+		if m.stamp[i] != m.epoch || g.kind[i] != KindAnd {
+			continue
+		}
+		m.stamp[g.fanin0[i].Node()] = m.epoch
+		m.stamp[g.fanin1[i].Node()] = m.epoch
+	}
+	m.stamp[0] = 0 // the constant node is never part of a cone
+}
+
+// InCone reports whether node u belongs to the cone stamped by the most
+// recent MarkTFI call.
+func (m *ConeMarker) InCone(u Node) bool { return m.stamp[u] == m.epoch }
+
 // TFICone returns the transitive-fanin cone of node n, including n itself,
 // as node ids in increasing (topological) order. PIs in the cone are
 // included; the constant node is not.

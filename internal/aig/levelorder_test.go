@@ -1,0 +1,104 @@
+package aig
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomTestGraph(rng *rand.Rand, nPIs, nAnds int) *Graph {
+	g := New()
+	lits := make([]Lit, 0, nPIs+nAnds)
+	for _, l := range g.AddPIs(nPIs, "x") {
+		lits = append(lits, l)
+	}
+	for i := 0; i < nAnds; i++ {
+		a := lits[rng.Intn(len(lits))]
+		b := lits[rng.Intn(len(lits))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		lits = append(lits, g.And(a, b))
+	}
+	g.AddPO(lits[len(lits)-1], "f")
+	return g
+}
+
+// TestLevelOrderMatchesStableSort checks that the counting-sorted level
+// order is exactly the ids 1..NumNodes−1 stable-sorted by (level, id), with
+// correct CSR level boundaries.
+func TestLevelOrderMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := randomTestGraph(rng, 2+rng.Intn(6), 5+rng.Intn(60))
+		levels := g.Levels()
+		order, start := g.LevelOrder(levels)
+
+		want := make([]Node, 0, g.NumNodes()-1)
+		for n := Node(1); int(n) < g.NumNodes(); n++ {
+			want = append(want, n)
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			return levels[want[i]] < levels[want[j]]
+		})
+		if len(order) != len(want) {
+			t.Fatalf("trial %d: order length %d, want %d", trial, len(order), len(want))
+		}
+		for i := range want {
+			if order[i] != want[i] {
+				t.Fatalf("trial %d: order[%d] = %d, want %d", trial, i, order[i], want[i])
+			}
+		}
+		for lev := 0; lev+1 < len(start); lev++ {
+			for _, n := range order[start[lev]:start[lev+1]] {
+				if int(levels[n]) != lev {
+					t.Fatalf("trial %d: node %d (level %d) in bucket %d", trial, n, levels[n], lev)
+				}
+			}
+		}
+		if int(start[len(start)-1]) != len(order) {
+			t.Fatalf("trial %d: last CSR boundary %d, want %d",
+				trial, start[len(start)-1], len(order))
+		}
+	}
+}
+
+// TestConeMarkerMatchesTFICone checks epoch-stamped cone marking against
+// TFICone across repeated marks on the same marker (the reuse pattern of the
+// candidate generation scan).
+func TestConeMarkerMatchesTFICone(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	g := randomTestGraph(rng, 5, 80)
+	m := NewConeMarker(g)
+	// Repeatedly mark cones in random node order: stale stamps from bigger
+	// earlier cones must never leak into later smaller ones.
+	for trial := 0; trial < 200; trial++ {
+		v := Node(1 + rng.Intn(g.NumNodes()-1))
+		m.MarkTFI(g, v)
+		in := make(map[Node]bool)
+		for _, u := range g.TFICone(v) {
+			in[u] = true
+		}
+		for u := Node(0); int(u) < g.NumNodes(); u++ {
+			if m.InCone(u) != in[u] {
+				t.Fatalf("trial %d node %d: InCone(%d) = %v, TFICone says %v",
+					trial, v, u, m.InCone(u), in[u])
+			}
+		}
+	}
+}
+
+// TestConeMarkerEpochOverflow forces the epoch wrap path.
+func TestConeMarkerEpochOverflow(t *testing.T) {
+	g := New()
+	a := g.AddPIs(2, "x")
+	f := g.And(a[0], a[1])
+	g.AddPO(f, "f")
+	m := NewConeMarker(g)
+	m.MarkTFI(g, f.Node())
+	m.epoch = 1<<31 - 1 // next MarkTFI must clear and restart
+	m.MarkTFI(g, a[0].Node())
+	if !m.InCone(a[0].Node()) || m.InCone(f.Node()) {
+		t.Fatalf("epoch wrap corrupted cone membership")
+	}
+}

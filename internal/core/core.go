@@ -15,6 +15,7 @@
 package core
 
 import (
+	"math"
 	"runtime"
 	"slices"
 	"sync"
@@ -310,10 +311,13 @@ func Run(g *aig.Graph, opts Options) Result {
 // or nil when there are no candidates. Candidates are grouped by node so
 // each node's fanout cone is re-simulated once (the batch estimation
 // trick); with workers > 1 the node groups are partitioned across worker
-// goroutines, each owning a Fork of the batch estimator. The reduction is
-// a sequential scan with a fixed tie-break (smallest error, then largest
-// gain, then first in node order), so the winner is independent of worker
-// count and scheduling.
+// goroutines, each owning a Fork of the batch estimator. Evaluation is
+// branch-and-bound: each worker passes its best error so far as a pruning
+// bound, so hopeless candidates abort at the first simulation word that
+// exceeds it and report +Inf. The reduction is a sequential scan with a
+// fixed tie-break (smallest error, then largest gain, then first in node
+// order); pruned candidates never tie-break against survivors, so the
+// winner is independent of worker count and scheduling.
 func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, cands []Candidate, workers int) *Candidate {
 	if len(cands) == 0 {
 		return nil
@@ -337,6 +341,14 @@ func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns
 		vecs := b.Vectors()
 		buf := wordops.Get(vecs.Words)
 		defer wordops.Put(buf)
+		// Branch-and-bound: the smallest exact error this worker has seen
+		// prunes later evaluations. The bound is per-worker state, never
+		// shared, so which candidates get pruned to +Inf depends on the
+		// work split — but the winner does not: a pruned candidate's error
+		// strictly exceeds some exact error and therefore the global
+		// minimum, so it can neither win nor tie-break against the winner
+		// (see errest.Evaluator.EvalPOWordsBounded).
+		bound := math.Inf(1)
 		for {
 			gi := next()
 			if gi >= len(groups) {
@@ -347,7 +359,10 @@ func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns
 			for i := lo; i < hi; i++ {
 				c := &cands[i]
 				c.NewVec(vecs, buf)
-				c.Err = b.EvalCandidate(c.Node, buf)
+				c.Err = b.EvalCandidateBounded(c.Node, buf, bound)
+				if c.Err < bound {
+					bound = c.Err
+				}
 			}
 		}
 	}

@@ -1,6 +1,8 @@
 package errest
 
 import (
+	"math"
+
 	"repro/internal/aig"
 	"repro/internal/sim"
 	"repro/internal/wordops"
@@ -31,7 +33,6 @@ type Batch struct {
 
 	cur     [][]uint64 // current circuit PO words Y (read-only after construction)
 	flipped [][]uint64 // PO words Y' with the prepared node complemented
-	scratch [][]uint64 // candidate PO words Ŷ
 	flipBuf []uint64
 
 	prepared aig.Node
@@ -56,7 +57,6 @@ func NewBatchWorkers(ev *Evaluator, g *aig.Graph, p *sim.Patterns, workers int) 
 		resim:    sim.NewResimulator(g, vecs),
 		cur:      allocPO(g.NumPOs(), p.Words),
 		flipped:  allocPO(g.NumPOs(), p.Words),
-		scratch:  allocPO(g.NumPOs(), p.Words),
 		flipBuf:  wordops.Get(p.Words),
 		prepared: -1,
 	}
@@ -78,7 +78,6 @@ func (b *Batch) Fork() *Batch {
 		resim:    b.resim.Fork(),
 		cur:      b.cur,
 		flipped:  allocPO(b.g.NumPOs(), b.vecs.Words),
-		scratch:  allocPO(b.g.NumPOs(), b.vecs.Words),
 		flipBuf:  wordops.Get(b.vecs.Words),
 		prepared: -1,
 		isFork:   true,
@@ -92,9 +91,8 @@ func (b *Batch) Fork() *Batch {
 func (b *Batch) Release() {
 	b.resim.Release()
 	releasePO(b.flipped)
-	releasePO(b.scratch)
 	wordops.Put(b.flipBuf)
-	b.flipped, b.scratch, b.flipBuf = nil, nil, nil
+	b.flipped, b.flipBuf = nil, nil
 	if !b.isFork {
 		releasePO(b.cur)
 		b.cur = nil
@@ -138,12 +136,18 @@ func (b *Batch) Prepare(n aig.Node) {
 // EvalCandidate returns the circuit error that would result from replacing
 // the prepared node's value vector by newVec.
 func (b *Batch) EvalCandidate(n aig.Node, newVec []uint64) float64 {
+	return b.EvalCandidateBounded(n, newVec, math.Inf(1))
+}
+
+// EvalCandidateBounded is EvalCandidate with branch-and-bound pruning:
+// candidates whose error strictly exceeds bound return +Inf, with the
+// metric accumulation aborted at the first word that passes the bound. A
+// candidate at least as good as the bound always gets its exact error (see
+// Evaluator.EvalPOWordsBounded for the monotonicity argument).
+func (b *Batch) EvalCandidateBounded(n aig.Node, newVec []uint64, bound float64) float64 {
 	if n != b.prepared {
 		panic("errest: EvalCandidate called without Prepare")
 	}
 	old := b.vecs.Node(n)
-	for o := range b.scratch {
-		wordops.SelectFlip(b.scratch[o], b.cur[o], b.flipped[o], old, newVec)
-	}
-	return b.Eval.EvalPOWords(b.scratch)
+	return b.Eval.EvalFlipBounded(b.cur, b.flipped, old, newVec, bound)
 }

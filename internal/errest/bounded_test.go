@@ -1,0 +1,154 @@
+package errest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wordops"
+)
+
+func randPOWords(rng *rand.Rand, nPOs, words int) [][]uint64 {
+	out := make([][]uint64, nPOs)
+	for o := range out {
+		out[o] = make([]uint64, words)
+		for w := range out[o] {
+			out[o][w] = rng.Uint64()
+		}
+	}
+	return out
+}
+
+// TestEvalPOWordsBoundedMatchesUnbounded property-tests the pruned
+// evaluation against the unbounded one for all three metrics: any bound at
+// or above the true error must return the exact value (bit-identical), and
+// any bound strictly below it must return +Inf.
+func TestEvalPOWordsBoundedMatchesUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		nPOs := 1 + rng.Intn(12)
+		words := 1 + rng.Intn(6)
+		valid := 1 + rng.Intn(64*words)
+		golden := randPOWords(rng, nPOs, words)
+		approx := randPOWords(rng, nPOs, words)
+		// Occasionally evaluate an exact copy so the err==0 edge is hit.
+		if trial%7 == 0 {
+			for o := range approx {
+				copy(approx[o], golden[o])
+			}
+		}
+		for _, metric := range []Metric{ER, NMED, MRED} {
+			e := NewEvaluatorFromWords(golden, words, valid, metric)
+			err := e.EvalPOWords(approx)
+
+			// Exactly at the bound: pruning must not fire (determinism of
+			// the candidate ranking depends on this).
+			if got := e.EvalPOWordsBounded(approx, err); got != err {
+				t.Fatalf("%v trial %d: bound==err returned %v, want %v", metric, trial, got, err)
+			}
+			if got := e.EvalPOWordsBounded(approx, math.Inf(1)); got != err {
+				t.Fatalf("%v trial %d: bound=+Inf returned %v, want %v", metric, trial, got, err)
+			}
+			if err > 0 {
+				lower := math.Nextafter(err, 0)
+				if got := e.EvalPOWordsBounded(approx, lower); !math.IsInf(got, 1) {
+					t.Fatalf("%v trial %d: bound just below err=%v returned %v, want +Inf",
+						metric, trial, err, got)
+				}
+				if got := e.EvalPOWordsBounded(approx, 0); !math.IsInf(got, 1) {
+					t.Fatalf("%v trial %d: bound 0 with err=%v returned %v, want +Inf",
+						metric, trial, err, got)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalFlipBoundedMatchesMerge property-tests the fused merge-and-
+// evaluate path against explicitly merging with wordops.SelectFlip and then
+// evaluating: the results must be bit-identical, bounded or not.
+func TestEvalFlipBoundedMatchesMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		nPOs := 1 + rng.Intn(12)
+		words := 1 + rng.Intn(6)
+		valid := 1 + rng.Intn(64*words)
+		golden := randPOWords(rng, nPOs, words)
+		cur := randPOWords(rng, nPOs, words)
+		flipped := randPOWords(rng, nPOs, words)
+		old := randPOWords(rng, 1, words)[0]
+		new := randPOWords(rng, 1, words)[0]
+
+		merged := make([][]uint64, nPOs)
+		for o := range merged {
+			merged[o] = make([]uint64, words)
+			wordops.SelectFlip(merged[o], cur[o], flipped[o], old, new)
+		}
+		for _, metric := range []Metric{ER, NMED, MRED} {
+			e := NewEvaluatorFromWords(golden, words, valid, metric)
+			want := e.EvalPOWords(merged)
+			if got := e.EvalFlipBounded(cur, flipped, old, new, math.Inf(1)); got != want {
+				t.Fatalf("%v trial %d: fused %v, merged %v", metric, trial, got, want)
+			}
+			if got := e.EvalFlipBounded(cur, flipped, old, new, want); got != want {
+				t.Fatalf("%v trial %d: fused at bound==err returned %v, want %v",
+					metric, trial, got, want)
+			}
+			if want > 0 {
+				lower := math.Nextafter(want, 0)
+				if got := e.EvalFlipBounded(cur, flipped, old, new, lower); !math.IsInf(got, 1) {
+					t.Fatalf("%v trial %d: fused below err=%v returned %v, want +Inf",
+						metric, trial, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestTailPatternsIgnored is the regression test for tail-pattern handling:
+// with a valid count that is not a multiple of 64, differences confined to
+// the garbage bits of the last word must not contribute to any metric, and
+// a single differing valid pattern contributes exactly 1/valid to ER.
+func TestTailPatternsIgnored(t *testing.T) {
+	const valid = 100 // 2 words, last word has 36 garbage bit positions
+	const words = 2
+	rng := rand.New(rand.NewSource(4))
+	golden := randPOWords(rng, 4, words)
+	for _, metric := range []Metric{ER, NMED, MRED} {
+		e := NewEvaluatorFromWords(golden, words, valid, metric)
+		if n := e.NumPatterns(); n != valid {
+			t.Fatalf("%v: NumPatterns = %d, want %d", metric, n, valid)
+		}
+
+		// Corrupt only bits at or beyond the valid count.
+		approx := make([][]uint64, len(golden))
+		for o := range approx {
+			approx[o] = append([]uint64(nil), golden[o]...)
+			approx[o][words-1] ^= ^wordops.TailMask(valid)
+		}
+		if err := e.EvalPOWords(approx); err != 0 {
+			t.Fatalf("%v: tail-only difference scored %v, want 0", metric, err)
+		}
+
+		// Flip PO 0 on the last VALID pattern: exactly one pattern differs.
+		approx[0][words-1] ^= 1 << uint((valid-1)%64)
+		err := e.EvalPOWords(approx)
+		if err <= 0 {
+			t.Fatalf("%v: valid-pattern difference scored %v, want > 0", metric, err)
+		}
+		if metric == ER && err != 1.0/valid {
+			t.Fatalf("ER: one bad pattern scored %v, want %v", err, 1.0/valid)
+		}
+	}
+}
+
+// TestEvaluatorFromWordsClampsValid checks the valid-count defaulting.
+func TestEvaluatorFromWordsClampsValid(t *testing.T) {
+	golden := [][]uint64{{0, 0}}
+	for _, valid := range []int{0, -5, 129, 1 << 20} {
+		e := NewEvaluatorFromWords(golden, 2, valid, ER)
+		if e.NumPatterns() != 128 {
+			t.Fatalf("valid=%d: NumPatterns = %d, want 128", valid, e.NumPatterns())
+		}
+	}
+}

@@ -54,7 +54,8 @@ type Evaluator struct {
 	metric  Metric
 	words   int
 	nPOs    int
-	nPat    int
+	nPat    int    // number of VALID patterns (≤ 64·words)
+	tail    uint64 // valid-bit mask of the last word
 	workers int
 
 	golden [][]uint64 // golden PO words, one slice per PO
@@ -80,18 +81,25 @@ func NewEvaluatorWorkers(g *aig.Graph, p *sim.Patterns, metric Metric, workers i
 	v := sim.SimulateWorkers(g, p, workers)
 	golden := sim.POWords(g, v)
 	v.Release()
-	e := NewEvaluatorFromWords(golden, p.Words, metric)
+	e := NewEvaluatorFromWords(golden, p.Words, p.Valid, metric)
 	e.workers = workers
 	return e
 }
 
 // NewEvaluatorFromWords builds an evaluator directly from golden PO words.
-func NewEvaluatorFromWords(golden [][]uint64, words int, metric Metric) *Evaluator {
+// valid is the number of meaningful patterns: bits at or beyond it in the
+// last word are masked out of every metric (out of range, it defaults to
+// the full 64·words).
+func NewEvaluatorFromWords(golden [][]uint64, words, valid int, metric Metric) *Evaluator {
+	if valid <= 0 || valid > 64*words {
+		valid = 64 * words
+	}
 	e := &Evaluator{
 		metric:  metric,
 		words:   words,
 		nPOs:    len(golden),
-		nPat:    64 * words,
+		nPat:    valid,
+		tail:    wordops.TailMask(valid),
 		workers: 1,
 		golden:  golden,
 	}
@@ -99,7 +107,7 @@ func NewEvaluatorFromWords(golden [][]uint64, words int, metric Metric) *Evaluat
 		if e.nPOs > 64 {
 			panic("errest: value metrics support at most 64 outputs")
 		}
-		e.goldenVal = make([]uint64, e.nPat)
+		e.goldenVal = make([]uint64, 64*words)
 		transposeValues(golden, words, e.goldenVal)
 		e.maxVal = math.Pow(2, float64(e.nPOs)) - 1
 	}
@@ -119,16 +127,32 @@ func (e *Evaluator) NumPatterns() int { return e.nPat }
 // only reads evaluator state, so it is safe to call concurrently (the batch
 // ranking workers do).
 func (e *Evaluator) EvalPOWords(approx [][]uint64) float64 {
+	return e.EvalPOWordsBounded(approx, math.Inf(1))
+}
+
+// EvalPOWordsBounded is EvalPOWords with branch-and-bound pruning: when the
+// metric strictly exceeds bound, evaluation stops at the first simulation
+// word where the partial value passes it and +Inf is returned.
+//
+// The pruning is exact, not heuristic. All three metrics accumulate
+// non-negative per-word contributions, so the partial value is
+// non-decreasing in the word index; the partial is checked with the same
+// floating-point expression that produces the final value, and IEEE
+// division is monotone, so a result ≤ bound can never be pruned — callers
+// always get the exact value for any candidate at least as good as the
+// bound, and +Inf strictly above it. This is what lets the candidate
+// ranking thread a best-so-far bound through without changing the winner.
+func (e *Evaluator) EvalPOWordsBounded(approx [][]uint64, bound float64) float64 {
 	if len(approx) != e.nPOs {
 		panic("errest: PO count mismatch")
 	}
 	switch e.metric {
 	case ER:
-		return e.errorRate(approx)
+		return e.errorRate(approx, bound)
 	case NMED:
-		return e.meanED(approx, false)
+		return e.meanED(approx, false, bound)
 	case MRED:
-		return e.meanED(approx, true)
+		return e.meanED(approx, true, bound)
 	}
 	panic("errest: unknown metric")
 }
@@ -151,27 +175,60 @@ func (e *Evaluator) EvalGraph(g *aig.Graph, p *sim.Patterns) float64 {
 	return err
 }
 
-func (e *Evaluator) errorRate(approx [][]uint64) float64 {
-	bad := 0
-	for w := 0; w < e.words; w++ {
-		var acc uint64
-		for o := 0; o < e.nPOs; o++ {
-			acc |= approx[o][w] ^ e.golden[o][w]
-		}
-		bad += bits.OnesCount64(acc)
+// EvalFlipBounded computes the metric of the candidate outputs
+// ŷ_o = (y_o &^ c) | (yf_o & c) with c = old ⊕ new — the batch-estimation
+// merge — without materializing them, pruned by bound exactly like
+// EvalPOWordsBounded. Fusing the merge into the metric loop means a pruned
+// candidate aborts the merge too, and the merged words stay in registers
+// instead of a scratch buffer. The accumulation order matches
+// EvalPOWordsBounded word for word, so the result is bit-identical to
+// merging first and evaluating after.
+func (e *Evaluator) EvalFlipBounded(y, yf [][]uint64, old, new []uint64, bound float64) float64 {
+	if len(y) != e.nPOs || len(yf) != e.nPOs {
+		panic("errest: PO count mismatch")
 	}
-	return float64(bad) / float64(e.nPat)
-}
+	nPatF := float64(e.nPat)
+	if e.metric == ER {
+		bad := 0
+		for w := 0; w < e.words; w++ {
+			c := old[w] ^ new[w]
+			var acc uint64
+			for o := 0; o < e.nPOs; o++ {
+				yo := y[o][w]&^c | yf[o][w]&c
+				acc |= yo ^ e.golden[o][w]
+			}
+			if w == e.words-1 {
+				acc &= e.tail
+			}
+			bad += bits.OnesCount64(acc)
+			if float64(bad)/nPatF > bound {
+				return math.Inf(1)
+			}
+		}
+		return float64(bad) / nPatF
+	}
 
-func (e *Evaluator) meanED(approx [][]uint64, relative bool) float64 {
-	// Stack-allocated scratch keeps concurrent calls allocation-free.
+	relative := e.metric == MRED
 	var valsArr [64]uint64
 	vals := valsArr[:]
 	sum := 0.0
 	for w := 0; w < e.words; w++ {
-		transposeWord(approx, w, vals)
+		c := old[w] ^ new[w]
+		for b := range vals {
+			vals[b] = 0
+		}
+		for o := 0; o < e.nPOs; o++ {
+			word := y[o][w]&^c | yf[o][w]&c
+			for ; word != 0; word &= word - 1 {
+				vals[bits.TrailingZeros64(word)] |= 1 << uint(o)
+			}
+		}
 		base := w * 64
-		for b := 0; b < 64; b++ {
+		hi := 64
+		if w == e.words-1 {
+			hi = e.nPat - base
+		}
+		for b := 0; b < hi; b++ {
 			y := e.goldenVal[base+b]
 			yhat := vals[b]
 			var ed float64
@@ -189,8 +246,82 @@ func (e *Evaluator) meanED(approx [][]uint64, relative bool) float64 {
 			}
 			sum += ed
 		}
+		partial := sum / nPatF
+		if !relative {
+			partial /= e.maxVal
+		}
+		if partial > bound {
+			return math.Inf(1)
+		}
 	}
-	mean := sum / float64(e.nPat)
+	mean := sum / nPatF
+	if relative {
+		return mean
+	}
+	return mean / e.maxVal
+}
+
+func (e *Evaluator) errorRate(approx [][]uint64, bound float64) float64 {
+	bad := 0
+	nPatF := float64(e.nPat)
+	for w := 0; w < e.words; w++ {
+		var acc uint64
+		for o := 0; o < e.nPOs; o++ {
+			acc |= approx[o][w] ^ e.golden[o][w]
+		}
+		if w == e.words-1 {
+			acc &= e.tail // patterns beyond Valid never count
+		}
+		bad += bits.OnesCount64(acc)
+		if float64(bad)/nPatF > bound {
+			return math.Inf(1)
+		}
+	}
+	return float64(bad) / nPatF
+}
+
+func (e *Evaluator) meanED(approx [][]uint64, relative bool, bound float64) float64 {
+	// Stack-allocated scratch keeps concurrent calls allocation-free.
+	var valsArr [64]uint64
+	vals := valsArr[:]
+	sum := 0.0
+	nPatF := float64(e.nPat)
+	for w := 0; w < e.words; w++ {
+		transposeWord(approx, w, vals)
+		base := w * 64
+		hi := 64
+		if w == e.words-1 {
+			hi = e.nPat - base // patterns beyond Valid never count
+		}
+		for b := 0; b < hi; b++ {
+			y := e.goldenVal[base+b]
+			yhat := vals[b]
+			var ed float64
+			if yhat >= y {
+				ed = float64(yhat - y)
+			} else {
+				ed = float64(y - yhat)
+			}
+			if relative {
+				den := float64(y)
+				if den < 1 {
+					den = 1
+				}
+				ed /= den
+			}
+			sum += ed
+		}
+		// Same expression as the final value below, so pruning can never
+		// fire on a result that would end up ≤ bound.
+		partial := sum / nPatF
+		if !relative {
+			partial /= e.maxVal
+		}
+		if partial > bound {
+			return math.Inf(1)
+		}
+	}
+	mean := sum / nPatF
 	if relative {
 		return mean
 	}
@@ -199,10 +330,12 @@ func (e *Evaluator) meanED(approx [][]uint64, relative bool) float64 {
 
 // transposeValues converts PO word slices into per-pattern output values.
 func transposeValues(po [][]uint64, words int, out []uint64) {
-	vals := make([]uint64, 64)
+	// Stack-allocated scratch: construction-time use only today, but kept
+	// allocation-free like the eval path.
+	var valsArr [64]uint64
 	for w := 0; w < words; w++ {
-		transposeWord(po, w, vals)
-		copy(out[w*64:], vals)
+		transposeWord(po, w, valsArr[:])
+		copy(out[w*64:], valsArr[:])
 	}
 }
 

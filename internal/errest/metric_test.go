@@ -231,5 +231,5 @@ func TestEvaluatorPanicsOnWideValueMetric(t *testing.T) {
 	for i := range golden {
 		golden[i] = make([]uint64, 1)
 	}
-	NewEvaluatorFromWords(golden, 1, NMED)
+	NewEvaluatorFromWords(golden, 1, 64, NMED)
 }

@@ -13,7 +13,6 @@ package resub
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -85,8 +84,21 @@ func BuildCover(vecs *sim.Vectors, divs []aig.Lit, target aig.Lit, valid int) (t
 	return BuildCoverWith(vecs, divs, target, valid, tt.ISOP)
 }
 
+// wordCoverMaxVars is the widest divisor set handled by the word-parallel
+// cover kernel: wordops.CoverScan packs the 2^k minterm masks into uint64s.
+const wordCoverMaxVars = 6
+
 // BuildCoverWith is BuildCover with an explicit two-level minimizer
 // (tt.ISOP or espresso.Minimize).
+//
+// For up to wordCoverMaxVars divisors — every set the generator produces —
+// the sampled truth table is extracted straight from the 64-way simulation
+// words: wordops.CoverScan ANDs the (possibly complemented) divisor words
+// into the 2^k divisor-minterm masks, detects infeasibility as a mask
+// intersecting both the target and its complement, and reads the onset and
+// care bits off the surviving masks. Infeasible sets — the vast majority of
+// the tries during generation — are rejected without allocating. Wider sets
+// fall back to the per-pattern reference loop.
 func BuildCoverWith(vecs *sim.Vectors, divs []aig.Lit, target aig.Lit, valid int,
 	minimize func(on, dc tt.Table) tt.Cover) (tt.Cover, bool) {
 
@@ -94,6 +106,31 @@ func BuildCoverWith(vecs *sim.Vectors, divs []aig.Lit, target aig.Lit, valid int
 	if k > tt.MaxVars {
 		return nil, false
 	}
+	if k > wordCoverMaxVars {
+		return buildCoverPerPattern(vecs, divs, target, valid, minimize)
+	}
+	var dw [wordCoverMaxVars][]uint64
+	var dinv [wordCoverMaxVars]uint64
+	for j, d := range divs {
+		dw[j], dinv[j] = vecs.LitWords(d)
+	}
+	tgt, tinv := vecs.LitWords(target)
+	on, care, ok := wordops.CoverScan(dw[:k], dinv[:k], tgt, tinv, valid)
+	if !ok {
+		return nil, false
+	}
+	onset, dc := tt.FromOnCare(k, on, care)
+	return minimize(onset, dc), true
+}
+
+// buildCoverPerPattern is the per-pattern reference implementation of
+// BuildCoverWith: one bit probe per (pattern, divisor). It remains the
+// specification the word-parallel kernel is property-tested against, and
+// the fallback for divisor sets wider than wordCoverMaxVars.
+func buildCoverPerPattern(vecs *sim.Vectors, divs []aig.Lit, target aig.Lit, valid int,
+	minimize func(on, dc tt.Table) tt.Cover) (tt.Cover, bool) {
+
+	k := len(divs)
 	onset := tt.New(k)
 	care := tt.New(k)
 	for p := 0; p < valid; p++ {
@@ -199,12 +236,14 @@ func Generate(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config) []LAC {
 
 // GenerateWorkers is Generate with the per-node scan sharded across worker
 // goroutines (0 = GOMAXPROCS). Per-node candidate generation only reads the
-// shared graph, levels and value vectors — each worker owns a private copy
-// of the reference counts, which the MFFC computation temporarily mutates —
+// shared graph, level order and value vectors — each worker owns a genState
+// with a private reference-count copy (the MFFC computation temporarily
+// mutates it), an epoch-stamped cone marker and reusable divisor scratch —
 // and per-chunk outputs are concatenated in node order, so the candidate
 // list is identical to the sequential scan for every worker count.
 func GenerateWorkers(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, workers int) []LAC {
 	levels := g.Levels()
+	order, lstart := g.LevelOrder(levels)
 	refs := g.RefCounts()
 
 	var ands []aig.Node
@@ -215,9 +254,10 @@ func GenerateWorkers(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, wor
 	}
 	workers = sim.Workers(workers, len(ands))
 	if workers <= 1 {
+		st := newGenState(g, vecs, valid, cfg, levels, order, lstart, refs)
 		var lacs []LAC
 		for _, v := range ands {
-			lacs = appendNodeLACs(lacs, g, vecs, valid, cfg, v, levels, refs)
+			lacs = st.appendNodeLACs(lacs, v)
 		}
 		return lacs
 	}
@@ -234,7 +274,8 @@ func GenerateWorkers(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, wor
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			myRefs := append([]int32(nil), refs...)
+			st := newGenState(g, vecs, valid, cfg, levels, order, lstart,
+				append([]int32(nil), refs...))
 			for {
 				c := int(next.Add(1)) - 1
 				if c >= nChunks {
@@ -244,7 +285,7 @@ func GenerateWorkers(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, wor
 				hi := min(lo+chunkNodes, len(ands))
 				var lacs []LAC
 				for _, v := range ands[lo:hi] {
-					lacs = appendNodeLACs(lacs, g, vecs, valid, cfg, v, levels, myRefs)
+					lacs = st.appendNodeLACs(lacs, v)
 				}
 				results[c] = lacs
 			}
@@ -263,25 +304,78 @@ func GenerateWorkers(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, wor
 	return out
 }
 
-// appendNodeLACs implements the per-node part of Algorithm 2 over the
-// divisor sets of Algorithm 1.
-func appendNodeLACs(lacs []LAC, g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config,
-	v aig.Node, levels []int32, refs []int32) []LAC {
+// genState is the per-worker scratch of the candidate scan. The graph, its
+// level order and the value vectors are shared read-only; the marker, the
+// reference counts, and the cone/pool/divisor buffers are private, so the
+// per-node loop allocates only when a feasible candidate is emitted.
+type genState struct {
+	g        *aig.Graph
+	vecs     *sim.Vectors
+	valid    int
+	cfg      Config
+	minimize func(on, dc tt.Table) tt.Cover
 
-	mffc := g.MFFCSize(v, refs)
-	target := aig.MakeLit(v, false)
+	levels []int32
+	order  []aig.Node // nodes sorted by (level, id), CSR per level
+	lstart []int32
+
+	refs   []int32
+	marker *aig.ConeMarker
+	cone   []aig.Node // TFI of the current node in the configured level order
+	pool   []aig.Node // scanned replacement candidates, reused for triples
+	divBuf [3]aig.Lit
+}
+
+func newGenState(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config,
+	levels []int32, order []aig.Node, lstart []int32, refs []int32) *genState {
+
 	minimize := tt.ISOP
 	if cfg.UseEspresso {
 		minimize = espresso.Minimize
 	}
+	return &genState{
+		g: g, vecs: vecs, valid: valid, cfg: cfg, minimize: minimize,
+		levels: levels, order: order, lstart: lstart, refs: refs,
+		marker: aig.NewConeMarker(g),
+	}
+}
+
+// coneInLevelOrder fills s.cone with the TFI cone of v in the configured
+// level order: (level, id) ascending, or descending levels with ascending
+// ids within a level — the exact order the previous stable sort produced.
+// Only the level buckets up to v's own level are visited.
+func (s *genState) coneInLevelOrder(v aig.Node) {
+	s.marker.MarkTFI(s.g, v)
+	s.cone = s.cone[:0]
+	vl := int(s.levels[v])
+	if s.cfg.DescendingLevels {
+		for lev := vl; lev >= 0; lev-- {
+			for _, u := range s.order[s.lstart[lev]:s.lstart[lev+1]] {
+				if s.marker.InCone(u) {
+					s.cone = append(s.cone, u)
+				}
+			}
+		}
+	} else {
+		for lev := 0; lev <= vl; lev++ {
+			for _, u := range s.order[s.lstart[lev]:s.lstart[lev+1]] {
+				if s.marker.InCone(u) {
+					s.cone = append(s.cone, u)
+				}
+			}
+		}
+	}
+}
+
+// appendNodeLACs implements the per-node part of Algorithm 2 over the
+// divisor sets of Algorithm 1.
+func (s *genState) appendNodeLACs(lacs []LAC, v aig.Node) []LAC {
+	g, cfg := s.g, &s.cfg
+	mffc := g.MFFCSize(v, s.refs)
+	target := aig.MakeLit(v, false)
 
 	// Algorithm 1: the TFI cone of V sorted by logic level.
-	tfi := g.TFICone(v)
-	if cfg.DescendingLevels {
-		sort.SliceStable(tfi, func(i, j int) bool { return levels[tfi[i]] > levels[tfi[j]] })
-	} else {
-		sort.SliceStable(tfi, func(i, j int) bool { return levels[tfi[i]] < levels[tfi[j]] })
-	}
+	s.coneInLevelOrder(v)
 
 	fanins := [2]aig.Node{g.Fanin0(v).Node(), g.Fanin1(v).Node()}
 	count := 0
@@ -290,7 +384,7 @@ func appendNodeLACs(lacs []LAC, g *aig.Graph, vecs *sim.Vectors, valid int, cfg 
 		if count >= cfg.MaxLACsPerNode {
 			return false
 		}
-		cover, ok := BuildCoverWith(vecs, divs, target, valid, minimize)
+		cover, ok := BuildCoverWith(s.vecs, divs, target, s.valid, s.minimize)
 		if !ok {
 			return true // infeasible; keep scanning
 		}
@@ -316,17 +410,18 @@ func appendNodeLACs(lacs []LAC, g *aig.Graph, vecs *sim.Vectors, valid int, cfg 
 		otherLit := aig.MakeLit(other, false)
 		// Divisor set A: remove fanin i. The constant node is not a useful
 		// divisor; use the empty set then (a constant resubstitution).
-		var a []aig.Lit
+		// The sets share s.divBuf, so building them never allocates.
+		a := s.divBuf[:0]
 		if other != 0 {
-			a = []aig.Lit{otherLit}
+			a = append(a, otherLit)
 		}
 		if !try(a) {
 			break
 		}
 		// Divisor sets B: replace the removed fanin by a TFI-cone node.
 		tries := 0
-		var pool []aig.Node // scanned candidates, reused for triples
-		for _, u := range tfi {
+		s.pool = s.pool[:0]
+		for _, u := range s.cone {
 			if count >= cfg.MaxLACsPerNode {
 				break
 			}
@@ -337,7 +432,7 @@ func appendNodeLACs(lacs []LAC, g *aig.Graph, vecs *sim.Vectors, valid int, cfg 
 				continue
 			}
 			tries++
-			pool = append(pool, u)
+			s.pool = append(s.pool, u)
 			b := append(a, aig.MakeLit(u, false))
 			if !try(b) {
 				break
@@ -348,11 +443,11 @@ func appendNodeLACs(lacs []LAC, g *aig.Graph, vecs *sim.Vectors, valid int, cfg 
 		// prefix of the scanned candidates. Richer functions approximate
 		// more closely at a slightly higher structural cost.
 		if cfg.MaxDivisors >= 3 && count < cfg.MaxLACsPerNode {
-			limit := min(len(pool), 16)
+			limit := min(len(s.pool), 16)
 			for x := 0; x < limit && count < cfg.MaxLACsPerNode; x++ {
 				for y := x + 1; y < limit && count < cfg.MaxLACsPerNode; y++ {
-					b := append(append([]aig.Lit(nil), a...),
-						aig.MakeLit(pool[x], false), aig.MakeLit(pool[y], false))
+					b := append(a,
+						aig.MakeLit(s.pool[x], false), aig.MakeLit(s.pool[y], false))
 					if !try(b) {
 						break
 					}

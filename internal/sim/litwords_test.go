@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+)
+
+// TestLitWords checks that the zero-copy word view of a literal matches the
+// bit-probe accessor under both phases.
+func TestLitWords(t *testing.T) {
+	g := aig.New()
+	a := g.AddPI("a")
+	b := g.AddPI("b")
+	f := g.And(a, b.Not())
+	g.AddPO(f, "f")
+
+	p := UniformN(2, 100, 3)
+	v := Simulate(g, p)
+	defer v.Release()
+
+	for _, l := range []aig.Lit{a, f, f.Not(), aig.MakeLit(f.Node(), true)} {
+		ws, inv := v.LitWords(l)
+		if l.IsCompl() != (inv == ^uint64(0)) {
+			t.Fatalf("lit %v: inv = %#x", l, inv)
+		}
+		for pat := 0; pat < p.Valid; pat++ {
+			got := (ws[pat>>6]^inv)>>(uint(pat)&63)&1 == 1
+			if got != v.LitBit(l, pat) {
+				t.Fatalf("lit %v pattern %d: words say %v, LitBit says %v",
+					l, pat, got, v.LitBit(l, pat))
+			}
+		}
+	}
+}

@@ -201,6 +201,18 @@ func (v *Vectors) LitBit(l aig.Lit, p int) bool {
 	return bit != l.IsCompl()
 }
 
+// LitWords returns the raw value words of literal l's node together with
+// the complement mask to XOR them with (all ones for a complemented
+// literal, zero otherwise). Word-level kernels consume literals through
+// this accessor without copying or materializing the complement.
+func (v *Vectors) LitWords(l aig.Lit) (ws []uint64, inv uint64) {
+	ws = v.Node(l.Node())
+	if l.IsCompl() {
+		inv = ^uint64(0)
+	}
+	return ws, inv
+}
+
 // Simulate evaluates graph g on the given patterns and returns the value
 // vectors of every node. The pattern input count must match g.NumPIs().
 // It runs on the calling goroutine; see SimulateWorkers for the sharded

@@ -94,6 +94,16 @@ func FromBits(n int, b uint64) Table {
 	return t
 }
 
+// FromOnCare builds the onset and don't-care tables of a sampled
+// incompletely specified function over n ≤ 6 variables from packed minterm
+// masks: bit m of on (resp. care) tells whether minterm m was observed with
+// function value 1 (resp. observed at all). The don't-care table is the
+// complement of the care set. This is the hand-off point from word-parallel
+// care-set construction (wordops.CoverScan) to two-level minimization.
+func FromOnCare(n int, on, care uint64) (onset, dc Table) {
+	return FromBits(n, on), FromBits(n, ^care)
+}
+
 // trim clears the unused high bits of the last word when nVars < 6.
 func (t *Table) trim() {
 	if t.nVars < 6 {

@@ -78,6 +78,77 @@ func SelectFlip(dst, y, yf, old, new []uint64) {
 	}
 }
 
+// TailMask returns the mask of meaningful bits in the last simulation word
+// of a run with n valid patterns: bits [0, n mod 64), or all ones when n is
+// a multiple of 64. Bits at or beyond the valid count carry arbitrary
+// values and must never influence pattern-granular results.
+func TailMask(n int) uint64 {
+	if r := uint(n) & 63; r != 0 {
+		return 1<<r - 1
+	}
+	return ^uint64(0)
+}
+
+// CoverScan classifies the first valid patterns of a target signal by the
+// valuation ("key") of up to six divisor signals, entirely at word
+// granularity. divs[j] holds the value words of divisor j, complemented by
+// XOR with dinv[j] (all-ones or zero); tgt/tinv encode the target the same
+// way. Bit m of the returned masks tells whether divisor valuation m was
+// observed with the target at 1 (onset) or observed at all (care). ok is
+// false when some valuation occurs with both target values — the sampled
+// resubstitution feasibility check — detected with an early exit on the
+// first conflicting word.
+//
+// The scan performs O(2^k · words) word operations in place of the
+// O(valid · k) single-bit probes of a per-pattern loop: per word, the 2^k
+// minterm-indicator masks are derived by iterative splitting (each divisor
+// halves every mask into an AND with the divisor's word and an AND with its
+// complement).
+func CoverScan(divs [][]uint64, dinv []uint64, tgt []uint64, tinv uint64, valid int) (onset, care uint64, ok bool) {
+	k := len(divs)
+	if k > 6 {
+		panic("wordops: CoverScan supports at most 6 divisors")
+	}
+	words := (valid + 63) >> 6
+	var on, off uint64
+	for w := 0; w < words; w++ {
+		vmask := ^uint64(0)
+		if w == words-1 {
+			vmask = TailMask(valid)
+		}
+		t := tgt[w] ^ tinv
+		var masks [64]uint64
+		masks[0] = vmask
+		n := 1
+		for j := 0; j < k; j++ {
+			dv := divs[j][w] ^ dinv[j]
+			for i := 0; i < n; i++ {
+				m := masks[i]
+				masks[n+i] = m & dv // key bit j = 1
+				masks[i] = m &^ dv  // key bit j = 0
+			}
+			n <<= 1
+		}
+		for key := 0; key < n; key++ {
+			m := masks[key]
+			if m == 0 {
+				continue
+			}
+			bit := uint64(1) << uint(key)
+			if m&t != 0 {
+				on |= bit
+			}
+			if m&^t != 0 {
+				off |= bit
+			}
+		}
+		if on&off != 0 {
+			return 0, 0, false
+		}
+	}
+	return on, on | off, true
+}
+
 // --- slice pools -----------------------------------------------------------
 //
 // Buffers are bucketed by power-of-two capacity: get rounds the requested

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — run the core benchmarks (simulation, candidate generation,
+# candidate ranking, end-to-end flow) and record ns/op, B/op and allocs/op
+# as JSON. Usage: scripts/bench.sh [out.json]; BENCHTIME overrides the
+# per-benchmark time (default 1s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+benchtime="${BENCHTIME:-1s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSimulate$|BenchmarkGenerate$|BenchmarkALSRACFlowRCA32$' \
+    -benchmem -benchtime="$benchtime" . | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkRankCandidates$' \
+    -benchmem -benchtime="$benchtime" ./internal/core | tee -a "$tmp"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; b = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op") ns = $(i-1)
+        if ($i == "B/op") b = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    \"%s\": {\"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (b == "" ? 0 : b), (allocs == "" ? 0 : allocs)
+}
+BEGIN { printf "{\n  \"benchmarks\": {\n" }
+END   { printf "\n  }\n}\n" }
+' "$tmp" > "$out"
+
+echo "wrote $out"
