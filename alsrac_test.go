@@ -19,6 +19,9 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if res.Graph.NumAnds() >= g.NumAnds() {
 		t.Fatalf("no area saving: %d -> %d", g.NumAnds(), res.Graph.NumAnds())
 	}
+	if err := res.Graph.CheckStrict(); err != nil {
+		t.Fatalf("flow produced a corrupt graph: %v", err)
+	}
 	// Independent re-measurement must agree with the flow's estimate to
 	// sampling accuracy.
 	err := MeasureError(g, res.Graph, NMED, 4096, 999)

@@ -1,0 +1,79 @@
+// Command alsraclint runs the repository's custom static-analysis suite
+// (package internal/analysis): determinism, hotpath, concurrency and
+// tailmask. It is stdlib-only — no golang.org/x/tools — and loads the whole
+// module with a lenient from-source type check.
+//
+// Usage:
+//
+//	alsraclint [-C dir] [-list] [patterns...]
+//
+// Patterns are accepted for command-line symmetry with go vet (./... is the
+// conventional spelling) but the tool always analyzes the full module rooted
+// at dir (default: the current directory, walking up to the nearest go.mod).
+// Diagnostics are printed as "file:line: [rule] message"; the exit status is
+// 1 when any diagnostic was reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", "", "module directory (default: nearest go.mod above the working directory)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analysis.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "alsraclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("alsraclint: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,157 @@
+package aig
+
+import "fmt"
+
+// CheckStrict validates every invariant the repository's transformations
+// rely on, beyond the structural basics of Check: acyclicity (by explicit
+// traversal, not just the id-ordering convention), fanin ordering and
+// normalization, structural-hash table consistency in both directions, the
+// AND-node count, and primary-input bookkeeping. It is the runtime
+// companion of the alsraclint static analyzers — flow tests call it on
+// every circuit the flow produces, so a transformation that corrupts the
+// graph is caught at the iteration that broke it, with the offending node
+// id in the error.
+func (g *Graph) CheckStrict() error {
+	if err := g.Check(); err != nil {
+		return err
+	}
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	if err := g.checkStrash(); err != nil {
+		return err
+	}
+	return g.checkPIs()
+}
+
+// checkAcyclic verifies by depth-first traversal that no node is reachable
+// from its own fanins. With Check's id-ordering invariant satisfied this is
+// implied, but a mutated or hand-corrupted graph can carry forward edges;
+// the explicit walk pins the offending node instead of relying on the
+// convention it may have broken.
+func (g *Graph) checkAcyclic() error {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current DFS path
+		black = 2 // fully explored
+	)
+	color := make([]byte, g.NumNodes())
+	var stack []Node
+	for root := Node(1); int(root) < g.NumNodes(); root++ {
+		if color[root] != white || g.kind[root] != KindAnd {
+			continue
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			if color[n] == white {
+				color[n] = grey
+				if g.kind[n] == KindAnd {
+					for _, f := range [2]Lit{g.fanin0[n], g.fanin1[n]} {
+						fn := f.Node()
+						if int(fn) >= g.NumNodes() {
+							return fmt.Errorf("aig: node %d has fanin pointing at nonexistent node %d", n, fn)
+						}
+						switch color[fn] {
+						case grey:
+							return fmt.Errorf("aig: cycle through node %d (fanin of node %d)", fn, n)
+						case white:
+							stack = append(stack, fn)
+						}
+					}
+				}
+				continue
+			}
+			color[n] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+// checkStrash verifies the structural-hash table in both directions: every
+// AND node must be findable under its canonical fanin key, every table
+// entry must describe a live AND node with exactly those fanins, and the
+// cached AND count must match the graph.
+func (g *Graph) checkStrash() error {
+	ands := 0
+	for n := Node(1); int(n) < g.NumNodes(); n++ {
+		if g.kind[n] != KindAnd {
+			continue
+		}
+		ands++
+		key := uint64(g.fanin0[n])<<32 | uint64(g.fanin1[n])
+		m, ok := g.strash[key]
+		if !ok {
+			return fmt.Errorf("aig: AND node %d missing from the structural-hash table", n)
+		}
+		if m != n {
+			return fmt.Errorf("aig: structural-hash entry for node %d's fanins points at node %d (duplicate structure)", n, m)
+		}
+	}
+	if ands != g.nAnds {
+		return fmt.Errorf("aig: cached AND count %d does not match the %d AND nodes present", g.nAnds, ands)
+	}
+	if len(g.strash) != ands {
+		// More entries than AND nodes means at least one stale entry; find
+		// one to name in the error.
+		for key, m := range g.strash {
+			f0, f1 := Lit(key>>32), Lit(key&0xFFFFFFFF)
+			if int(m) >= g.NumNodes() || g.kind[m] != KindAnd ||
+				g.fanin0[m] != f0 || g.fanin1[m] != f1 {
+				return fmt.Errorf("aig: stale structural-hash entry (%v,%v) -> node %d", f0, f1, m)
+			}
+		}
+		return fmt.Errorf("aig: structural-hash table has %d entries for %d AND nodes", len(g.strash), ands)
+	}
+	return nil
+}
+
+// checkPIs verifies primary-input bookkeeping: every registered PI is a
+// distinct KindPI node and every KindPI node is registered.
+func (g *Graph) checkPIs() error {
+	if len(g.pis) != len(g.piNames) {
+		return fmt.Errorf("aig: %d PIs but %d PI names", len(g.pis), len(g.piNames))
+	}
+	seen := make([]bool, g.NumNodes())
+	for i, pi := range g.pis {
+		if int(pi) >= g.NumNodes() || g.kind[pi] != KindPI {
+			return fmt.Errorf("aig: PI %d registered at node %d, which is not a PI node", i, pi)
+		}
+		if seen[pi] {
+			return fmt.Errorf("aig: node %d registered as a PI twice", pi)
+		}
+		seen[pi] = true
+	}
+	for n := Node(1); int(n) < g.NumNodes(); n++ {
+		if g.kind[n] == KindPI && !seen[n] {
+			return fmt.Errorf("aig: PI node %d missing from the input list", n)
+		}
+	}
+	return nil
+}
+
+// CheckLevels verifies a caller-held logic-level slice against the graph:
+// the constant node and PIs at level 0, every AND node one above the
+// maximum of its fanin levels. Consumers that cache level orders across a
+// pass (package resub's generation scan) validate their snapshot with this
+// in tests; the error names the first offending node.
+func (g *Graph) CheckLevels(levels []int32) error {
+	if len(levels) != g.NumNodes() {
+		return fmt.Errorf("aig: level slice has %d entries for %d nodes", len(levels), g.NumNodes())
+	}
+	for n := Node(0); int(n) < g.NumNodes(); n++ {
+		switch g.kind[n] {
+		case KindAnd:
+			want := max(levels[g.fanin0[n].Node()], levels[g.fanin1[n].Node()]) + 1
+			if levels[n] != want {
+				return fmt.Errorf("aig: node %d has level %d, expected %d", n, levels[n], want)
+			}
+		default:
+			if levels[n] != 0 {
+				return fmt.Errorf("aig: node %d is not an AND node but has level %d", n, levels[n])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces the bitwise-determinism contract of the
+// simulation-bound packages: Run must pick the same LAC for every worker
+// count (TestRunDeterministicAcrossWorkers pins this), which forbids every
+// source of run-to-run variation:
+//
+//   - time.Now / time.Since — wall-clock reads feeding any decision;
+//   - the unseeded top-level math/rand generators (rand.Intn, rand.Uint64,
+//     ...) — only explicitly seeded rand.New(rand.NewSource(seed)) chains
+//     are allowed, as in sim.Uniform;
+//   - range over a map whose body produces an ordered result: appending to
+//     a slice, sending on a channel, or writing through a slice/array index.
+//     Map iteration order is randomized per run, so any of these bakes the
+//     iteration order into an ordered output — the exact bug class that
+//     would break determinism across worker counts.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, unseeded randomness and order-dependent map iteration in the deterministic core",
+	AppliesTo: pathIn(
+		"internal/core", "internal/resub", "internal/errest",
+		"internal/sim", "internal/aig", "internal/wordops",
+	),
+	Run: runDeterminism,
+}
+
+// seededRandConstructors are the math/rand names that build explicitly
+// seeded generators; every other selector on the package is the shared,
+// unseeded top-level source.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 spellings
+}
+
+func runDeterminism(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				x, name, ok := selectorCall(n)
+				if !ok {
+					return true
+				}
+				id, ok := x.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch p.Pkg.pkgNameOf(file, id) {
+				case "time":
+					if name == "Now" || name == "Since" {
+						p.Reportf(n.Pos(), "time.%s in deterministic package %s: results must not depend on wall-clock time", name, p.Pkg.Name)
+					}
+				case "math/rand", "math/rand/v2":
+					if !seededRandConstructors[name] {
+						p.Reportf(n.Pos(), "unseeded math/rand.%s: use rand.New(rand.NewSource(seed)) so runs are reproducible", name)
+					}
+				}
+			case *ast.RangeStmt:
+				if p.isMapRange(n) {
+					checkMapRangeBody(p, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isMapRange reports whether the statement ranges over a map. Without type
+// information it stays silent (never guesses).
+func (p *Pass) isMapRange(r *ast.RangeStmt) bool {
+	t := p.Pkg.typeOf(r.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody flags statements inside a range-over-map body that turn
+// the randomized iteration order into an ordered result. Writes keyed by the
+// map key itself (m2[k] = v, set insertion) are order-independent and pass.
+func checkMapRangeBody(p *Pass, r *ast.RangeStmt) {
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside range over map: receiver observes randomized map order")
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && p.isBuiltin(id) {
+				p.Reportf(n.Pos(), "append inside range over map: slice order depends on randomized map order")
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				t := p.Pkg.typeOf(ix.X)
+				if t == nil {
+					continue
+				}
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Array:
+					p.Reportf(n.Pos(), "indexed slice write inside range over map: element order depends on randomized map order")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isBuiltin reports whether the identifier resolves to a universe builtin
+// (or is unresolvable, in which case the spelling is trusted: no user code
+// in this repository shadows append/make/new).
+func (p *Pass) isBuiltin(id *ast.Ident) bool {
+	if p.Pkg.TypesInfo == nil {
+		return true
+	}
+	obj, ok := p.Pkg.TypesInfo.Uses[id]
+	if !ok {
+		return true
+	}
+	_, isb := obj.(*types.Builtin)
+	return isb
+}

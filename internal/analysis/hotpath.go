@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotpathAnalyzer enforces the steady-state zero-allocation contract of
+// functions annotated //alsrac:hotpath — the word-level kernels whose
+// per-call allocation counts PR 1 and PR 2 drove to zero (CoverScan, the
+// bounded evaluators, the simulate inner loops, the genState cone scan).
+// Inside an annotated function it forbids:
+//
+//   - make and new;
+//   - map and slice composite literals, and &T{...} (escaping composite);
+//   - func literals (closures capture and routinely escape via call args);
+//   - append whose result does not feed back into its own first argument —
+//     self-append (s.buf = append(s.buf, x)) into persistent scratch is the
+//     sanctioned amortized pattern, anything else mints fresh backing;
+//   - go and defer statements (both allocate);
+//   - string concatenation (allocates the result).
+//
+// The audited escape hatch is a //alsrac:alloc-ok <reason> comment on the
+// offending line or the line above; a marker without a reason is itself a
+// finding, so every exception states why it is safe.
+var HotpathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocation in //alsrac:hotpath functions",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		marks := collectAllocOK(p.Pkg.Fset, file)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotpathBody(p, fd, marks)
+		}
+	}
+}
+
+func checkHotpathBody(p *Pass, fd *ast.FuncDecl, marks allocOK) {
+	reportf := func(n ast.Node, format string, args ...any) {
+		if found, reason := marks.suppressed(p.Pkg.Fset, n.Pos()); found {
+			if reason == "" {
+				p.Reportf(n.Pos(), "alloc-ok marker without a reason: state why this allocation is acceptable")
+			}
+			return
+		}
+		p.Reportf(n.Pos(), format, args...)
+	}
+
+	// Self-appends are recognized from their enclosing assignment, which the
+	// walk visits before the nested call expression.
+	selfAppend := map[*ast.CallExpr]bool{}
+
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isAppendCall(p, call) &&
+					appendTargetMatches(n.Lhs[0], call.Args[0]) {
+					selfAppend[call] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && p.isBuiltin(id) {
+				switch id.Name {
+				case "make":
+					reportf(n, "make in hotpath %s: draw from a pool or reuse caller scratch", name)
+				case "new":
+					reportf(n, "new in hotpath %s: allocate outside the kernel", name)
+				case "append":
+					if !selfAppend[n] {
+						reportf(n, "append into a fresh slice in hotpath %s: only self-append into persistent scratch is allocation-amortized", name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			switch p.compositeKind(n) {
+			case "map":
+				reportf(n, "map literal in hotpath %s allocates", name)
+			case "slice":
+				reportf(n, "slice literal in hotpath %s allocates", name)
+			}
+			return false // literals nest; one finding per outermost literal
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					reportf(n, "&composite literal in hotpath %s escapes to the heap", name)
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			reportf(n, "closure in hotpath %s: captures escape; hoist the function or pass state explicitly", name)
+			return false
+		case *ast.GoStmt:
+			reportf(n, "go statement in hotpath %s allocates a goroutine", name)
+		case *ast.DeferStmt:
+			reportf(n, "defer in hotpath %s: deferred calls cost on every invocation", name)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := p.Pkg.typeOf(n.X); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						reportf(n, "string concatenation in hotpath %s allocates", name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAppendCall reports whether the call is the append builtin with at least
+// one argument.
+func isAppendCall(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append" && p.isBuiltin(id) && len(call.Args) > 0
+}
+
+// appendTargetMatches reports whether the assignment target and append's
+// first argument name the same slice, treating x = append(x[:0], ...) as a
+// match too (reslicing the same backing).
+func appendTargetMatches(lhs, arg0 ast.Expr) bool {
+	if sl, ok := arg0.(*ast.SliceExpr); ok {
+		arg0 = sl.X
+	}
+	return types.ExprString(lhs) == types.ExprString(arg0)
+}
+
+// compositeKind classifies a composite literal as "map", "slice" or "other",
+// preferring type information and falling back to the syntactic type.
+func (p *Pass) compositeKind(cl *ast.CompositeLit) string {
+	if t := p.Pkg.typeOf(cl); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Map:
+			return "map"
+		case *types.Slice:
+			return "slice"
+		}
+		return "other"
+	}
+	switch tt := cl.Type.(type) {
+	case *ast.MapType:
+		return "map"
+	case *ast.ArrayType:
+		if tt.Len == nil {
+			return "slice"
+		}
+	}
+	return "other"
+}

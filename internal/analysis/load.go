@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule parses and type-checks every package of the Go module rooted at
+// dir (the directory containing go.mod). Test files and testdata directories
+// are skipped: the analyzers enforce invariants on shipped code.
+//
+// Type checking is deliberately lenient. Imports that resolve inside the
+// module are checked from source in dependency order; imports from outside
+// the module (the standard library — the module has no other dependencies)
+// are stubbed with empty placeholder packages and every resulting type error
+// is swallowed. The analyzers are written to degrade gracefully: where a
+// type does not resolve they fall back to syntactic matching or stay silent,
+// never report on guesswork.
+func LoadModule(dir string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	pkgDirs, err := packageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type rawPkg struct {
+		path    string
+		files   []*ast.File
+		imports map[string]bool
+	}
+	raw := make(map[string]*rawPkg)
+	for _, d := range pkgDirs {
+		rel, err := filepath.Rel(dir, d)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		rp := &rawPkg{path: importPath, imports: map[string]bool{}}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, "_") ||
+				strings.HasPrefix(name, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(d, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("alsraclint: parse %s: %w", filepath.Join(d, name), err)
+			}
+			rp.files = append(rp.files, f)
+			for _, imp := range f.Imports {
+				rp.imports[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+		if len(rp.files) > 0 {
+			raw[importPath] = rp
+		}
+	}
+
+	// Type-check in dependency order so module-internal imports are real
+	// packages by the time their importers are checked.
+	checked := make(map[string]*Package)
+	imp := &moduleImporter{module: modPath, checked: checked, stubs: map[string]*types.Package{}}
+	var order []string
+	for path := range raw {
+		order = append(order, path)
+	}
+	sort.Strings(order)
+	var visit func(path string) error
+	visiting := map[string]bool{}
+	var pkgs []*Package
+	visit = func(path string) error {
+		if _, done := checked[path]; done {
+			return nil
+		}
+		if visiting[path] {
+			return fmt.Errorf("alsraclint: import cycle through %s", path)
+		}
+		visiting[path] = true
+		rp := raw[path]
+		for dep := range rp.imports {
+			if raw[dep] != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		visiting[path] = false
+		pkg := checkPackage(fset, path, rp.files, imp)
+		checked[path] = pkg
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// LoadFile parses and leniently type-checks a single source file as its own
+// package under the given import path. It backs the fixture tests: the
+// fixtures under testdata/ are real Go files analyzed exactly like module
+// code, with the import path choosing which analyzers apply.
+func LoadFile(filename, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	imp := &moduleImporter{module: importPath, checked: map[string]*Package{},
+		stubs: map[string]*types.Package{}}
+	return checkPackage(fset, importPath, []*ast.File{f}, imp), nil
+}
+
+// checkPackage runs the lenient type check and assembles a Package. Checking
+// never fails hard: on a panic or an error flood the package keeps whatever
+// partial information was recorded.
+func checkPackage(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) *Package {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:                 imp,
+		Error:                    func(error) {}, // collect nothing, continue always
+		DisableUnusedImportCheck: true,
+	}
+	tpkg, _ := conf.Check(path, fset, files, info) // errors intentionally ignored
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{Path: path, Name: name, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}
+}
+
+// moduleImporter resolves module-internal imports to their already-checked
+// packages and stubs everything else with an empty placeholder, so the check
+// can proceed without compiled export data for the standard library.
+type moduleImporter struct {
+	module  string
+	checked map[string]*Package
+	stubs   map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.checked[path]; ok && p.Types != nil {
+		return p.Types, nil
+	}
+	if s, ok := m.stubs[path]; ok {
+		return s, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	s := types.NewPackage(path, name)
+	m.stubs[path] = s
+	return s, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("alsraclint: %w (run from the module root or pass its path)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("alsraclint: no module directive in %s", gomod)
+}
+
+// packageDirs returns every directory under root that holds .go files,
+// skipping VCS metadata, testdata trees and underscore/dot-prefixed paths.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}

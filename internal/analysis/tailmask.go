@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TailmaskAnalyzer enforces the PR 2 tail-masking contract at API
+// boundaries: the last simulation word of a run with Valid patterns carries
+// arbitrary bits beyond the valid count, so any exported package-level
+// errest function that accepts raw pattern words ([]uint64 or [][]uint64)
+// must also accept the valid-pattern count — otherwise it cannot mask the
+// tail and garbage bits leak into ER/NMED/MRED.
+//
+// Methods are exempt by design: an Evaluator or Batch is constructed with
+// the valid count (NewEvaluatorFromWords takes and stores it), and its
+// methods inherit the stored tail mask. The analyzer guards the points
+// where words first cross into the package.
+var TailmaskAnalyzer = &Analyzer{
+	Name:      "tailmask",
+	Doc:       "exported errest entry points taking pattern words must take a valid-pattern count",
+	AppliesTo: pathIn("internal/errest"),
+	Run:       runTailmask,
+}
+
+func runTailmask(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !takesPatternWords(fd.Type) {
+				continue
+			}
+			if !hasValidParam(fd.Type) {
+				p.Reportf(fd.Pos(), "exported %s takes []uint64 pattern words but no valid-pattern count: tail bits beyond Patterns.Valid cannot be masked", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// takesPatternWords reports whether any parameter type contains a []uint64
+// (including [][]uint64 and deeper nestings).
+func takesPatternWords(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if containsWordSlice(field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsWordSlice(e ast.Expr) bool {
+	at, ok := e.(*ast.ArrayType)
+	if !ok || at.Len != nil {
+		return false
+	}
+	if id, ok := at.Elt.(*ast.Ident); ok && id.Name == "uint64" {
+		return true
+	}
+	return containsWordSlice(at.Elt)
+}
+
+// hasValidParam reports whether some parameter is an int whose name signals
+// a valid-pattern count ("valid", "nPat", "nValid", ...).
+func hasValidParam(ft *ast.FuncType) bool {
+	for _, field := range ft.Params.List {
+		id, ok := field.Type.(*ast.Ident)
+		if !ok || id.Name != "int" {
+			continue
+		}
+		for _, name := range field.Names {
+			lower := strings.ToLower(name.Name)
+			if strings.Contains(lower, "valid") || strings.Contains(lower, "npat") {
+				return true
+			}
+		}
+	}
+	return false
+}

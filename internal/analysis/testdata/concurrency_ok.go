@@ -1,0 +1,60 @@
+// Fixture: the sanctioned worker-pool patterns the concurrency analyzer
+// must accept (they mirror DESIGN.md §8).
+package core
+
+import "sync"
+
+// Disjoint-index publication: each worker owns results[w].
+func shardedResults(n int) []int {
+	results := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = w * w
+		}(w)
+	}
+	wg.Wait()
+	return results
+}
+
+// Mutex-guarded shared state.
+func lockedAccumulator(items []int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+		}(it)
+	}
+	wg.Wait()
+	return total
+}
+
+// Channel publication: the goroutine writes nothing it captured.
+func channelFanIn(items []int) int {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			ch <- it * it
+		}(it)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

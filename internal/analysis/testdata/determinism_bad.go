@@ -1,0 +1,36 @@
+// Fixture: every determinism violation class the analyzer must catch.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func elapsedSeconds() float64 {
+	start := time.Now() //want:determinism
+	_ = start
+	d := time.Since(start) //want:determinism
+	_ = d
+	return 0
+}
+
+func unseededDraws() (int, uint64, float64) {
+	a := rand.Intn(8)    //want:determinism
+	b := rand.Uint64()   //want:determinism
+	c := rand.Float64()  //want:determinism
+	rand.Shuffle(3, nil) //want:determinism
+	return a, b, c
+}
+
+func orderedFromMap(m map[int]int, ch chan int) []int {
+	out := make([]int, 0, len(m))
+	dst := make([]int, len(m))
+	i := 0
+	for k, v := range m {
+		out = append(out, k) //want:determinism
+		ch <- v              //want:determinism
+		dst[i] = v           //want:determinism
+		i++
+	}
+	return out
+}

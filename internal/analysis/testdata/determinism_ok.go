@@ -1,0 +1,37 @@
+// Fixture: the sanctioned patterns the determinism analyzer must accept.
+package sim
+
+import "math/rand"
+
+// Explicitly seeded generator chains are the reproducible-randomness idiom.
+func seededDraw(seed int64) uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Uint64()
+}
+
+// Map-to-map writes keyed by the iteration key are order-independent.
+func copyTable(m map[uint64]int32) map[uint64]int32 {
+	out := make(map[uint64]int32, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Order-independent reductions over map values are fine too.
+func sumValues(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Appending inside a slice range is unaffected.
+func doubled(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, 2*x)
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+// Fixture: every allocation class the hotpath analyzer must catch inside an
+// annotated function.
+package wordops
+
+type acc struct{ n int }
+
+//alsrac:hotpath
+func kernelBad(dst, src []uint64, label, suffix string) int {
+	tmp := make([]uint64, len(src)) //want:hotpath
+	copy(tmp, src)
+	grown := append(src, 0) //want:hotpath
+	_ = grown
+	box := new(acc) //want:hotpath
+	_ = box
+	table := map[int]int{1: 2} //want:hotpath
+	_ = table
+	lits := []int{1, 2, 3} //want:hotpath
+	_ = lits
+	ptr := &acc{n: 1} //want:hotpath
+	_ = ptr
+	f := func() {} //want:hotpath
+	f()
+	defer f()              //want:hotpath
+	name := label + suffix //want:hotpath
+	_ = name
+	//alsrac:alloc-ok
+	pad := make([]uint64, 4) //want:hotpath
+	_ = pad
+	return len(dst)
+}
+
+// Unannotated functions may allocate freely.
+func helperAllocates(n int) []uint64 {
+	return make([]uint64, n)
+}

@@ -1,0 +1,15 @@
+// Fixture: exported errest entry points taking pattern words without a
+// valid-pattern count.
+package errest
+
+func RateOfWords(golden, approx [][]uint64, words int) float64 { //want:tailmask
+	return 0
+}
+
+func SumWord(ws []uint64) uint64 { //want:tailmask
+	var s uint64
+	for _, w := range ws {
+		s += w
+	}
+	return s
+}

@@ -1,0 +1,25 @@
+// Fixture: the tailmask-conformant shapes the analyzer must accept.
+package errest
+
+// A valid-pattern count travels with the words.
+func RateOfWordsValid(golden, approx [][]uint64, words, valid int) float64 {
+	_ = valid
+	return 0
+}
+
+// The nPat spelling counts too.
+func DistanceOfWords(golden [][]uint64, nPat int) float64 {
+	_ = nPat
+	return 0
+}
+
+type meter struct{ valid int }
+
+// Methods are exempt: the receiver is constructed with the valid count.
+func (m *meter) Consume(ws []uint64) {}
+
+// Unexported functions are internal plumbing past the masking boundary.
+func rawPopcount(ws []uint64) int { return len(ws) }
+
+// Exported functions without word parameters are out of scope.
+func Normalize(x float64) float64 { return x }

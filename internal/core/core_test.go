@@ -49,7 +49,7 @@ func TestRunRespectsERThreshold(t *testing.T) {
 	if truth > 3*opts.Threshold {
 		t.Fatalf("true ER %.4g far above threshold %.4g", truth, opts.Threshold)
 	}
-	if err := res.Graph.Check(); err != nil {
+	if err := res.Graph.CheckStrict(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -225,7 +225,7 @@ func TestRunWithCustomPatternDistribution(t *testing.T) {
 	if res.FinalError > opts.Threshold {
 		t.Fatalf("final error %.4g over threshold under biased inputs", res.FinalError)
 	}
-	if err := res.Graph.Check(); err != nil {
+	if err := res.Graph.CheckStrict(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -267,7 +267,7 @@ func TestRunWithTripleDivisors(t *testing.T) {
 	if res.FinalError > opts.Threshold {
 		t.Fatalf("triple-divisor run over threshold: %.4g", res.FinalError)
 	}
-	if err := res.Graph.Check(); err != nil {
+	if err := res.Graph.CheckStrict(); err != nil {
 		t.Fatal(err)
 	}
 }

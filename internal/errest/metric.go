@@ -142,6 +142,8 @@ func (e *Evaluator) EvalPOWords(approx [][]uint64) float64 {
 // always get the exact value for any candidate at least as good as the
 // bound, and +Inf strictly above it. This is what lets the candidate
 // ranking thread a best-so-far bound through without changing the winner.
+//
+//alsrac:hotpath
 func (e *Evaluator) EvalPOWordsBounded(approx [][]uint64, bound float64) float64 {
 	if len(approx) != e.nPOs {
 		panic("errest: PO count mismatch")
@@ -183,6 +185,8 @@ func (e *Evaluator) EvalGraph(g *aig.Graph, p *sim.Patterns) float64 {
 // instead of a scratch buffer. The accumulation order matches
 // EvalPOWordsBounded word for word, so the result is bit-identical to
 // merging first and evaluating after.
+//
+//alsrac:hotpath
 func (e *Evaluator) EvalFlipBounded(y, yf [][]uint64, old, new []uint64, bound float64) float64 {
 	if len(y) != e.nPOs || len(yf) != e.nPOs {
 		panic("errest: PO count mismatch")
@@ -261,6 +265,7 @@ func (e *Evaluator) EvalFlipBounded(y, yf [][]uint64, old, new []uint64, bound f
 	return mean / e.maxVal
 }
 
+//alsrac:hotpath
 func (e *Evaluator) errorRate(approx [][]uint64, bound float64) float64 {
 	bad := 0
 	nPatF := float64(e.nPat)
@@ -280,6 +285,7 @@ func (e *Evaluator) errorRate(approx [][]uint64, bound float64) float64 {
 	return float64(bad) / nPatF
 }
 
+//alsrac:hotpath
 func (e *Evaluator) meanED(approx [][]uint64, relative bool, bound float64) float64 {
 	// Stack-allocated scratch keeps concurrent calls allocation-free.
 	var valsArr [64]uint64
@@ -341,6 +347,8 @@ func transposeValues(po [][]uint64, words int, out []uint64) {
 
 // transposeWord extracts the 64 output values encoded in word index w of
 // the PO slices: vals[b] has bit o equal to bit b of po[o][w].
+//
+//alsrac:hotpath
 func transposeWord(po [][]uint64, w int, vals []uint64) {
 	for b := range vals {
 		vals[b] = 0

@@ -1,0 +1,41 @@
+package espresso
+
+import (
+	"testing"
+
+	"repro/internal/tt"
+)
+
+// FuzzEspresso feeds arbitrary sampled incompletely specified functions to
+// the iterative minimizer and checks the contract Minimize documents:
+// on ⊆ F ⊆ on ∪ dc — every onset minterm covered, no offset minterm
+// touched — and that the result never costs more than the ISOP cover it
+// starts from.
+func FuzzEspresso(f *testing.F) {
+	f.Add(uint8(3), uint64(0b1010_0101), ^uint64(0))
+	f.Add(uint8(6), uint64(0xDEADBEEF_01234567), uint64(0xFFFF0000_FFFF0000))
+	f.Add(uint8(1), uint64(0b01), uint64(0b11))
+	f.Add(uint8(5), uint64(0x0123_4567), uint64(0x89AB_CDEF))
+
+	f.Fuzz(func(t *testing.T, nRaw uint8, on, care uint64) {
+		n := 1 + int(nRaw)%6
+		mask := uint64(1)<<(1<<uint(n)) - 1
+		care &= mask
+		on &= care
+
+		onset, dc := tt.FromOnCare(n, on, care)
+		cover := Minimize(onset, dc)
+
+		tbl := cover.Table(n)
+		if missed := onset.AndNot(tbl); !missed.IsConst0() {
+			t.Fatalf("cover %v misses onset minterms %v", cover, missed)
+		}
+		if hit := tbl.AndNot(onset.Or(dc)); !hit.IsConst0() {
+			t.Fatalf("cover %v intersects the offset at %v", cover, hit)
+		}
+		if isop := CoverCost(tt.ISOP(onset, dc)); CoverCost(cover).Less(isop) == false &&
+			CoverCost(cover) != isop {
+			t.Fatalf("minimized cost %+v worse than ISOP cost %+v", CoverCost(cover), isop)
+		}
+	})
+}

@@ -344,6 +344,8 @@ func newGenState(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config,
 // level order: (level, id) ascending, or descending levels with ascending
 // ids within a level — the exact order the previous stable sort produced.
 // Only the level buckets up to v's own level are visited.
+//
+//alsrac:hotpath
 func (s *genState) coneInLevelOrder(v aig.Node) {
 	s.marker.MarkTFI(s.g, v)
 	s.cone = s.cone[:0]

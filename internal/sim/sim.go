@@ -255,6 +255,8 @@ func SimulateWorkers(g *aig.Graph, p *Patterns, workers int) *Vectors {
 }
 
 // simulateRange evaluates every AND node over the word sub-range [lo, hi).
+//
+//alsrac:hotpath
 func simulateRange(g *aig.Graph, v *Vectors, lo, hi int) {
 	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
 		if !g.IsAnd(n) {
@@ -269,6 +271,8 @@ func simulateRange(g *aig.Graph, v *Vectors, lo, hi int) {
 
 // evalAnd computes the AND node n into out, reading fanin vectors through
 // the get accessor (which lets callers overlay changed vectors).
+//
+//alsrac:hotpath
 func evalAnd(g *aig.Graph, n aig.Node, get func(aig.Node) []uint64, out []uint64) {
 	f0, f1 := g.Fanin0(n), g.Fanin1(n)
 	wordops.And(out, get(f0.Node()), get(f1.Node()), f0.IsCompl(), f1.IsCompl())

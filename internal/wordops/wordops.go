@@ -16,6 +16,8 @@ import (
 
 // Equal reports whether a and b hold the same words. a and b must have the
 // same length.
+//
+//alsrac:hotpath
 func Equal(a, b []uint64) bool {
 	for i := range a {
 		if a[i] != b[i] {
@@ -27,6 +29,8 @@ func Equal(a, b []uint64) bool {
 
 // Not writes the elementwise complement of src into dst. The slices must
 // have the same length and may not overlap partially (dst == src is fine).
+//
+//alsrac:hotpath
 func Not(dst, src []uint64) {
 	for i := range dst {
 		dst[i] = ^src[i]
@@ -36,6 +40,8 @@ func Not(dst, src []uint64) {
 // CopyOrNot copies src into dst, complementing every word when compl is
 // true. This is the literal-dereference kernel: a complemented AIG edge
 // reads the complemented value vector.
+//
+//alsrac:hotpath
 func CopyOrNot(dst, src []uint64, compl bool) {
 	if compl {
 		Not(dst, src)
@@ -47,6 +53,8 @@ func CopyOrNot(dst, src []uint64, compl bool) {
 // And writes the conjunction of a and b into dst, complementing a when c0
 // is set and b when c1 is set — the four fanin-polarity cases of an AIG
 // AND node in one kernel. All slices must have the same length.
+//
+//alsrac:hotpath
 func And(dst, a, b []uint64, c0, c1 bool) {
 	switch {
 	case !c0 && !c1:
@@ -71,6 +79,8 @@ func And(dst, a, b []uint64, c0, c1 bool) {
 // SelectFlip is the batch-estimation merge kernel: on the bit positions
 // where old and new differ the output takes the flipped value yf, elsewhere
 // the current value y. All slices must have the same length.
+//
+//alsrac:hotpath
 func SelectFlip(dst, y, yf, old, new []uint64) {
 	for i := range dst {
 		c := old[i] ^ new[i]
@@ -104,6 +114,8 @@ func TailMask(n int) uint64 {
 // minterm-indicator masks are derived by iterative splitting (each divisor
 // halves every mask into an AND with the divisor's word and an AND with its
 // complement).
+//
+//alsrac:hotpath
 func CoverScan(divs [][]uint64, dinv []uint64, tgt []uint64, tinv uint64, valid int) (onset, care uint64, ok bool) {
 	k := len(divs)
 	if k > 6 {

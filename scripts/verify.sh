@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, vet, the full test suite, then the race
-# detector over the concurrency-bearing packages.
+# Tier-1 verification: build, vet, the project's own analyzer suite, the
+# full test suite, the race detector over the concurrency-bearing packages,
+# and a short fuzz smoke over the property-tested kernels. Any failure is
+# fatal (set -e): a vet finding, an alsraclint diagnostic, a race, or a
+# fuzz counterexample all fail the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+go run ./cmd/alsraclint ./...
 go test ./...
 go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/errest ./internal/core
+
+# Fuzz smoke: 10 seconds per target (go runs one -fuzz target at a time).
+FUZZTIME="${FUZZTIME:-10s}"
+go test -run='^$' -fuzz='^FuzzCoverScan$' -fuzztime="$FUZZTIME" ./internal/resub
+go test -run='^$' -fuzz='^FuzzISOP$' -fuzztime="$FUZZTIME" ./internal/tt
+go test -run='^$' -fuzz='^FuzzEspresso$' -fuzztime="$FUZZTIME" ./internal/espresso
