@@ -25,6 +25,7 @@
 package alsrac
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -114,11 +115,42 @@ func Approximate(g *Circuit, opts Options) Result {
 	return core.Run(g, opts)
 }
 
+// ApproximateCtx is Approximate under a context: when ctx is cancelled or
+// its deadline expires, the flow stops at the next iteration boundary and
+// returns its best-so-far result (never an error) — an interrupted
+// iteration commits nothing, so the result is always a valid flow state.
+func ApproximateCtx(ctx context.Context, g *Circuit, opts Options) Result {
+	return core.RunCtx(ctx, g, opts)
+}
+
 // ApproximateSASIMI runs Su et al.'s substitution-based baseline inside
 // the same greedy flow (the comparison method of the paper's Tables IV/V).
 func ApproximateSASIMI(g *Circuit, opts Options) Result {
 	return core.Run(g, sasimi.Configure(opts))
 }
+
+// ApproximateSASIMICtx is ApproximateSASIMI under a context, with the same
+// best-so-far semantics as ApproximateCtx.
+func ApproximateSASIMICtx(ctx context.Context, g *Circuit, opts Options) Result {
+	return core.RunCtx(ctx, g, sasimi.Configure(opts))
+}
+
+// NewSession starts a stepwise ALSRAC run: each Step performs one greedy
+// iteration, and Snapshot/Restore checkpoint the flow across processes.
+// Approximate is equivalent to stepping a session to completion.
+func NewSession(g *Circuit, opts Options) *Session { return core.NewSession(g, opts) }
+
+// RestoreSession resumes a session from a checkpoint written by
+// Session.Snapshot; opts must match the options the snapshotted run used.
+func RestoreSession(r io.Reader, opts Options) (*Session, error) {
+	return core.Restore(r, opts)
+}
+
+// Session is a resumable stepwise ALSRAC run; see core.Session.
+type Session = core.Session
+
+// SessionEvent describes what one Session.Step did; see core.Event.
+type SessionEvent = core.Event
 
 // ApproximateMCMC runs the Liu-style stochastic baseline (the comparison
 // method of the paper's Tables VI/VII). proposals ≤ 0 selects the default.

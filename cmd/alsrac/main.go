@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +38,7 @@ func main() {
 		target    = flag.String("target", "asic", "mapping target: asic or lut6")
 		maxDepth  = flag.Float64("maxdepth", 0, "reject changes exceeding this ratio of the original depth (0 = off)")
 		workers   = flag.Int("workers", 0, "worker goroutines for simulation, LAC generation and ranking (0 = all CPUs; results are identical for any value)")
+		timeout   = flag.Duration("timeout", 0, "stop after this long and keep the best result so far (0 = no limit)")
 		verbose   = flag.Bool("v", false, "log flow progress")
 	)
 	flag.Parse()
@@ -76,19 +78,32 @@ func main() {
 		}
 	}
 
+	// A deadline stops the flow at the next iteration boundary with its
+	// best-so-far result — a timed-out run still prints and writes a valid
+	// approximate circuit rather than failing.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	var res alsrac.Result
 	switch strings.ToLower(*flow) {
 	case "alsrac":
-		res = alsrac.Approximate(g, opts)
+		res = alsrac.ApproximateCtx(ctx, g, opts)
 	case "sasimi":
-		res = alsrac.ApproximateSASIMI(g, opts)
+		res = alsrac.ApproximateSASIMICtx(ctx, g, opts)
 	case "mcmc":
 		res = alsrac.ApproximateMCMC(g, m, *threshold, 0, *seed)
 	default:
 		fail("unknown flow %q", *flow)
 	}
 	elapsed := time.Since(start)
+	if *timeout > 0 && ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "alsrac: timeout after %v, reporting best result so far\n", *timeout)
+	}
 
 	area, delay := measure(res.Graph, *target)
 	fmt.Printf("circuit    : %s (%d PIs, %d POs)\n", g.Name, g.NumPIs(), g.NumPOs())

@@ -1,0 +1,99 @@
+// Command alsracd is the ALSRAC synthesis daemon: a job queue and worker
+// pool driving checkpointed approximation sessions behind an HTTP API.
+//
+// Submit a circuit and watch it converge:
+//
+//	alsracd -dir /var/lib/alsracd &
+//	curl -X POST --data-binary @adder.blif \
+//	    'localhost:8337/jobs?metric=er&threshold=0.01&seed=1'
+//	curl 'localhost:8337/jobs/j000001/events'          # NDJSON progress
+//	curl 'localhost:8337/jobs/j000001/result?format=blif' > adder_approx.blif
+//
+// Jobs survive restarts: every job's spec, circuit and periodic session
+// checkpoints are persisted under -dir, and on startup interrupted jobs are
+// re-enqueued and resumed from their latest checkpoint — converging to the
+// same final circuit the uninterrupted run would have produced (the flow is
+// deterministic in the seed). SIGINT/SIGTERM trigger a graceful shutdown
+// that checkpoints every in-flight session first.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "localhost:8337", "HTTP listen address")
+		dir        = flag.String("dir", "alsracd-data", "job store directory (specs, circuits, checkpoints, results)")
+		jobs       = flag.Int("jobs", 1, "jobs run concurrently (each additionally parallelizes internally per its workers parameter)")
+		queue      = flag.Int("queue", 256, "submission queue bound")
+		ckptEvery  = flag.Int("checkpoint-every", 8, "checkpoint a running session every N iterations")
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline; on expiry a job completes with its best-so-far result (0 = none)")
+		quiet      = flag.Bool("q", false, "suppress per-job log lines")
+	)
+	flag.Parse()
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	m, err := service.New(service.Config{
+		Dir:               *dir,
+		QueueSize:         *queue,
+		Workers:           *jobs,
+		CheckpointEvery:   *ckptEvery,
+		DefaultTimeoutSec: jobTimeout.Seconds(),
+		Now:               time.Now,
+		Logf:              logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alsracd: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(m)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		m.Run(ctx) // returns after draining: in-flight sessions checkpointed
+	}()
+	go func() {
+		defer wg.Done()
+		serveErr <- srv.ListenAndServe()
+	}()
+	log.Printf("alsracd: listening on %s, job store %s", *addr, *dir)
+
+	var exitErr error
+	select {
+	case <-ctx.Done():
+		log.Printf("alsracd: shutting down, checkpointing in-flight jobs")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv.Shutdown(shutCtx)
+		cancel()
+	case err := <-serveErr:
+		exitErr = err
+		stop() // the listener died: drain the workers and exit
+	}
+	wg.Wait()
+	if exitErr != nil && exitErr != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "alsracd: %v\n", exitErr)
+		os.Exit(1)
+	}
+	log.Printf("alsracd: shutdown complete")
+}

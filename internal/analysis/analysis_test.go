@@ -103,12 +103,13 @@ func renderDiags(diags []Diagnostic) string {
 }
 
 // TestAnalyzersApplyToScopedPackages pins the scoping predicates: the
-// determinism rules cover exactly the six deterministic-core packages and
-// tailmask covers errest only.
+// determinism rules cover the six deterministic-core packages plus the
+// daemon-side service and obs packages, and tailmask covers errest only.
 func TestAnalyzersApplyToScopedPackages(t *testing.T) {
 	for _, path := range []string{
 		"repro/internal/core", "repro/internal/resub", "repro/internal/errest",
 		"repro/internal/sim", "repro/internal/aig", "repro/internal/wordops",
+		"repro/internal/service", "repro/internal/obs",
 	} {
 		if !DeterminismAnalyzer.AppliesTo(path) {
 			t.Errorf("determinism must apply to %s", path)

@@ -19,12 +19,20 @@ import (
 //     Map iteration order is randomized per run, so any of these bakes the
 //     iteration order into an ordered output — the exact bug class that
 //     would break determinism across worker counts.
+//
+// The daemon-side packages (internal/service, internal/obs) are held to the
+// same rules: a resumed job must replay bitwise-identically, so the job
+// engine may not read the wall clock directly (the Manager's clock is
+// injected via Config.Now) and may not derive ordered output from map
+// iteration (the job table and metric registry keep insertion-ordered
+// slices beside their lookup maps).
 var DeterminismAnalyzer = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock reads, unseeded randomness and order-dependent map iteration in the deterministic core",
 	AppliesTo: pathIn(
 		"internal/core", "internal/resub", "internal/errest",
 		"internal/sim", "internal/aig", "internal/wordops",
+		"internal/service", "internal/obs",
 	),
 	Run: runDeterminism,
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -35,7 +36,7 @@ func BenchmarkRankCandidates(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_ = rankCandidates(ev, g, evalPats, cands, workers)
+				_ = rankCandidates(context.Background(), ev, g, evalPats, cands, workers)
 			}
 			b.ReportMetric(float64(len(cands)), "candidates")
 		})

@@ -15,15 +15,14 @@
 package core
 
 import (
+	"context"
 	"math"
-	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/aig"
 	"repro/internal/errest"
-	"repro/internal/opt"
 	"repro/internal/resub"
 	"repro/internal/sim"
 	"repro/internal/wordops"
@@ -180,130 +179,29 @@ type Result struct {
 
 // Run executes the ALSRAC flow on circuit g and returns an approximate
 // circuit whose estimated error does not exceed opts.Threshold. g itself is
-// not modified.
+// not modified. It is a thin loop over Session.Step; long-running callers
+// that need checkpointing or per-iteration progress drive a Session
+// directly.
 func Run(g *aig.Graph, opts Options) Result {
-	if opts.Generator == nil {
-		opts.Generator = ResubGenerator{Cfg: resub.Config{
-			MaxLACsPerNode:  opts.MaxLACsPerNode,
-			MaxReplaceTries: opts.MaxReplaceTries,
-			MaxDivisors:     opts.MaxDivisors,
-			UseEspresso:     opts.UseEspresso,
-		}}
-	}
-	logf := opts.Verbose
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+	return RunCtx(context.Background(), g, opts)
+}
 
-	if opts.Patterns == nil {
-		opts.Patterns = sim.UniformN
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	nEval := opts.EvalPatterns
-	if nEval < 64 {
-		nEval = 64
-	}
-	evalPats := opts.Patterns(g.NumPIs(), nEval, opts.Seed)
-	ev := errest.NewEvaluatorWorkers(g, evalPats, opts.Metric, workers)
-
-	cur := g.Sweep()
-	best := cur // smallest circuit seen; error grows monotonically
-	depthCap := 0
-	if opts.MaxDepthRatio > 0 {
-		depthCap = int(opts.MaxDepthRatio * float64(cur.Depth()))
-	}
-	res := Result{}
-	n := opts.InitialRounds
-	streak := 0 // consecutive iterations with an empty candidate set
-	stall := 0  // consecutive iterations without an applied LAC
-	curErr := 0.0
-
-	for curErr <= opts.Threshold && stall < opts.MaxStall {
-		res.Iterations++
-		iterSeed := opts.Seed + int64(res.Iterations)*7919
-
-		care := opts.Patterns(cur.NumPIs(), n, iterSeed)
-		vecs := sim.SimulateWorkers(cur, care, workers)
-		var cands []Candidate
-		if wg, ok := opts.Generator.(WorkerGenerator); ok {
-			cands = wg.GenerateWorkers(cur, vecs, care.Valid, workers)
-		} else {
-			cands = opts.Generator.Generate(cur, vecs, care.Valid)
-		}
-		vecs.Release()
-
-		rec := IterRecord{Iteration: res.Iterations, Rounds: n, Candidates: len(cands)}
-		if len(cands) == 0 {
-			streak++
-			stall++
-			if streak >= opts.Patience {
-				n = int(float64(n) * opts.Scale)
-				if n < 1 {
-					n = 1
-				}
-				streak = 0
-				logf("iter %d: no LACs for %d rounds, shrinking N to %d", res.Iterations, opts.Patience, n)
-			}
-			rec.Err, rec.Ands = curErr, cur.NumAnds()
-			res.History = append(res.History, rec)
-			continue
-		}
-		streak = 0
-
-		bestCand := rankCandidates(ev, cur, evalPats, cands, workers)
-		if bestCand.Err > opts.Threshold {
-			// Algorithm 3, line 7: even the best candidate violates the
-			// threshold — the flow terminates.
-			rec.Err, rec.Ands = curErr, cur.NumAnds()
-			res.History = append(res.History, rec)
+// RunCtx is Run with a context: when ctx is cancelled (deadline or explicit)
+// the flow stops at the next iteration boundary and returns the best result
+// found so far — cancellation is a budget, not an error. The result for an
+// uncancelled context is bitwise identical to Run's.
+func RunCtx(ctx context.Context, g *aig.Graph, opts Options) Result {
+	s := NewSession(g, opts)
+	for {
+		ev, err := s.Step(ctx)
+		if err != nil || ev.Done {
 			break
 		}
-
-		prevAnds := cur.NumAnds()
-		prevErr := curErr
-		cand := bestCand.Apply(cur)
-		if !opts.SkipOptimize {
-			cand = opt.Optimize(cand)
-		} else {
-			cand = cand.Sweep()
-		}
-		if depthCap > 0 && cand.Depth() > depthCap {
-			// Delay-constrained mode: drop this change and try again with
-			// fresh patterns next iteration.
-			stall++
-			rec.Err, rec.Ands = curErr, cur.NumAnds()
-			res.History = append(res.History, rec)
-			continue
-		}
-		cur = cand
-		curErr = bestCand.Err
-		res.Applied++
-		if cur.NumAnds() >= prevAnds && curErr == prevErr {
-			// The change neither shrank the circuit nor consumed error
-			// budget: count it toward the stall guard so a cycle of
-			// zero-progress changes cannot loop forever.
-			stall++
-		} else {
-			stall = 0
-		}
-		if cur.NumAnds() < best.NumAnds() {
-			best = cur
-		}
-		rec.Applied, rec.Err, rec.Ands = true, curErr, cur.NumAnds()
-		res.History = append(res.History, rec)
-		logf("iter %d: applied LAC at node %d, err %.5g, ands %d",
-			res.Iterations, bestCand.Node, curErr, cur.NumAnds())
 	}
-
 	// Return the smallest circuit observed. Error is cumulative and
 	// non-decreasing, so every snapshot satisfies the threshold; later
 	// zero-gain trades must not be allowed to worsen the result.
-	res.Graph = best
-	res.FinalError = ev.EvalGraph(best, evalPats)
-	return res
+	return s.Result()
 }
 
 // rankCandidates estimates the error of every candidate with the batch
@@ -318,7 +216,11 @@ func Run(g *aig.Graph, opts Options) Result {
 // fixed tie-break (smallest error, then largest gain, then first in node
 // order); pruned candidates never tie-break against survivors, so the
 // winner is independent of worker count and scheduling.
-func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, cands []Candidate, workers int) *Candidate {
+//
+// Cancelling ctx stops the scan at the next group boundary; the caller
+// (Session.Step) detects ctx.Err and discards the partial ranking, so a
+// cancelled iteration commits nothing.
+func rankCandidates(ctx context.Context, ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, cands []Candidate, workers int) *Candidate {
 	if len(cands) == 0 {
 		return nil
 	}
@@ -351,7 +253,7 @@ func rankCandidates(ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns
 		bound := math.Inf(1)
 		for {
 			gi := next()
-			if gi >= len(groups) {
+			if gi >= len(groups) || ctx.Err() != nil {
 				return
 			}
 			lo, hi := groups[gi][0], groups[gi][1]

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/aig"
+	"repro/internal/errest"
+	"repro/internal/opt"
+	"repro/internal/resub"
+	"repro/internal/sim"
+)
+
+// EventKind classifies what one Session.Step did.
+type EventKind string
+
+const (
+	// EventApplied: the step committed the best candidate LAC.
+	EventApplied EventKind = "applied"
+	// EventNoCandidates: the generator produced no LACs this round
+	// (Event.Shrunk reports whether N was scaled down as a consequence).
+	EventNoCandidates EventKind = "no-candidates"
+	// EventDepthReject: the best candidate was dropped by the delay
+	// constraint (Options.MaxDepthRatio); the flow retries with fresh
+	// patterns next step.
+	EventDepthReject EventKind = "depth-reject"
+	// EventThreshold: even the best candidate violates the error threshold
+	// (Algorithm 3, line 7) — the session is finished after this step.
+	EventThreshold EventKind = "threshold"
+	// EventDone: the session had already finished; no work was performed.
+	EventDone EventKind = "done"
+)
+
+// Event describes the outcome of one Session.Step. It is the unit of
+// progress reporting: the service layer streams Events to clients as NDJSON.
+type Event struct {
+	Kind       EventKind `json:"kind"`
+	Iteration  int       `json:"iteration"`
+	Rounds     int       `json:"rounds"` // care-set rounds N in effect after the step
+	Candidates int       `json:"candidates"`
+	Applied    bool      `json:"applied"`
+	Err        float64   `json:"err"`  // cumulative error after the step
+	Ands       int       `json:"ands"` // AND count after the step
+	Shrunk     bool      `json:"shrunk,omitempty"`
+	Done       bool      `json:"done"`
+	Reason     string    `json:"reason,omitempty"` // termination reason when Done
+}
+
+// Termination reasons reported in Event.Reason.
+const (
+	ReasonStall     = "stall"     // Options.MaxStall iterations without progress
+	ReasonThreshold = "threshold" // best candidate exceeds the error threshold
+	ReasonBudget    = "budget"    // cumulative error exceeds the threshold
+)
+
+// Session is the resumable form of the ALSRAC flow: Run unrolled into an
+// explicit state machine. Each Step performs one Algorithm 3 iteration
+// (simulate care patterns → generate LACs → rank → apply, or shrink N), and
+// the complete mutable state between steps — working AIG, best AIG, the
+// pattern count N, the stall/streak counters and the accepted-LAC history —
+// can be serialized with Snapshot and revived with Restore, bitwise
+// faithfully: a restored session continues exactly as the original would
+// have.
+//
+// A Session is not safe for concurrent use; the service layer gives each
+// job's session to exactly one worker goroutine at a time.
+type Session struct {
+	opts    Options
+	workers int
+	nEval   int
+	logf    func(string, ...any)
+
+	orig     *aig.Graph // reference circuit (error is measured against it)
+	evalPats *sim.Patterns
+	ev       *errest.Evaluator
+
+	cur      *aig.Graph
+	best     *aig.Graph
+	depthCap int
+	n        int // care-set rounds N
+	streak   int // consecutive empty-candidate iterations
+	stall    int // consecutive iterations without an applied LAC
+	curErr   float64
+
+	iterations int
+	applied    int
+	history    []IterRecord
+
+	done     bool
+	reason   string
+	finalErr float64 // cached by Result once done
+	finalOK  bool
+}
+
+// NewSession prepares a Session over circuit g. g itself is never modified;
+// it is retained as the error reference and serialized into snapshots.
+func NewSession(g *aig.Graph, opts Options) *Session {
+	if opts.Generator == nil {
+		opts.Generator = ResubGenerator{Cfg: resub.Config{
+			MaxLACsPerNode:  opts.MaxLACsPerNode,
+			MaxReplaceTries: opts.MaxReplaceTries,
+			MaxDivisors:     opts.MaxDivisors,
+			UseEspresso:     opts.UseEspresso,
+		}}
+	}
+	logf := opts.Verbose
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.Patterns == nil {
+		opts.Patterns = sim.UniformN
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nEval := opts.EvalPatterns
+	if nEval < 64 {
+		nEval = 64
+	}
+
+	s := &Session{
+		opts:    opts,
+		workers: workers,
+		nEval:   nEval,
+		logf:    logf,
+		orig:    g,
+	}
+	s.evalPats = opts.Patterns(g.NumPIs(), nEval, opts.Seed)
+	s.ev = errest.NewEvaluatorWorkers(g, s.evalPats, opts.Metric, workers)
+
+	s.cur = g.Sweep()
+	s.best = s.cur
+	if opts.MaxDepthRatio > 0 {
+		s.depthCap = int(opts.MaxDepthRatio * float64(s.cur.Depth()))
+	}
+	s.n = opts.InitialRounds
+	return s
+}
+
+// Step performs one Algorithm 3 iteration and reports what happened. When
+// the flow has terminated it returns an Event with Done set (idempotently on
+// further calls). A context cancellation aborts the step before any state is
+// committed and returns ctx.Err(): the interrupted iteration leaves no trace,
+// so a later Step — in this process or after Snapshot/Restore — redoes it
+// identically.
+func (s *Session) Step(ctx context.Context) (Event, error) {
+	if s.done {
+		return s.doneEvent(), nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Event{}, err
+	}
+	if s.curErr > s.opts.Threshold {
+		return s.finish(ReasonBudget), nil
+	}
+	if s.stall >= s.opts.MaxStall {
+		return s.finish(ReasonStall), nil
+	}
+
+	// The iteration number participates in the pattern seed; it is only
+	// committed to s.iterations once the step is past every abort point.
+	iter := s.iterations + 1
+	iterSeed := s.opts.Seed + int64(iter)*7919
+
+	care := s.opts.Patterns(s.cur.NumPIs(), s.n, iterSeed)
+	vecs := sim.SimulateWorkers(s.cur, care, s.workers)
+	var cands []Candidate
+	if wg, ok := s.opts.Generator.(WorkerGenerator); ok {
+		cands = wg.GenerateWorkers(s.cur, vecs, care.Valid, s.workers)
+	} else {
+		cands = s.opts.Generator.Generate(s.cur, vecs, care.Valid)
+	}
+	vecs.Release()
+
+	if len(cands) == 0 {
+		s.iterations = iter
+		s.streak++
+		s.stall++
+		ev := Event{Kind: EventNoCandidates, Iteration: iter, Err: s.curErr, Ands: s.cur.NumAnds()}
+		if s.streak >= s.opts.Patience {
+			s.n = int(float64(s.n) * s.opts.Scale)
+			if s.n < 1 {
+				s.n = 1
+			}
+			s.streak = 0
+			ev.Shrunk = true
+			s.logf("iter %d: no LACs for %d rounds, shrinking N to %d", iter, s.opts.Patience, s.n)
+		}
+		ev.Rounds = s.n
+		s.record(IterRecord{Iteration: iter, Rounds: ev.Rounds, Err: s.curErr, Ands: s.cur.NumAnds()})
+		return ev, nil
+	}
+
+	bestCand := rankCandidates(ctx, s.ev, s.cur, s.evalPats, cands, s.workers)
+	if err := ctx.Err(); err != nil {
+		// Ranking was cut short; nothing has been committed.
+		return Event{}, err
+	}
+
+	// Committed from here on.
+	s.iterations = iter
+	s.streak = 0
+	rec := IterRecord{Iteration: iter, Rounds: s.n, Candidates: len(cands)}
+
+	if bestCand.Err > s.opts.Threshold {
+		rec.Err, rec.Ands = s.curErr, s.cur.NumAnds()
+		s.record(rec)
+		ev := s.finish(ReasonThreshold)
+		ev.Kind = EventThreshold
+		ev.Iteration, ev.Rounds, ev.Candidates = iter, s.n, len(cands)
+		return ev, nil
+	}
+
+	prevAnds := s.cur.NumAnds()
+	prevErr := s.curErr
+	cand := bestCand.Apply(s.cur)
+	if !s.opts.SkipOptimize {
+		cand = opt.Optimize(cand)
+	} else {
+		cand = cand.Sweep()
+	}
+	if s.depthCap > 0 && cand.Depth() > s.depthCap {
+		// Delay-constrained mode: drop this change and try again with fresh
+		// patterns next iteration.
+		s.stall++
+		rec.Err, rec.Ands = s.curErr, s.cur.NumAnds()
+		s.record(rec)
+		return Event{Kind: EventDepthReject, Iteration: iter, Rounds: s.n,
+			Candidates: len(cands), Err: s.curErr, Ands: s.cur.NumAnds()}, nil
+	}
+	s.cur = cand
+	s.curErr = bestCand.Err
+	s.applied++
+	if s.cur.NumAnds() >= prevAnds && s.curErr == prevErr {
+		// The change neither shrank the circuit nor consumed error budget:
+		// count it toward the stall guard so a cycle of zero-progress
+		// changes cannot loop forever.
+		s.stall++
+	} else {
+		s.stall = 0
+	}
+	if s.cur.NumAnds() < s.best.NumAnds() {
+		s.best = s.cur
+	}
+	rec.Applied, rec.Err, rec.Ands = true, s.curErr, s.cur.NumAnds()
+	s.record(rec)
+	s.logf("iter %d: applied LAC at node %d, err %.5g, ands %d",
+		iter, bestCand.Node, s.curErr, s.cur.NumAnds())
+	return Event{Kind: EventApplied, Iteration: iter, Rounds: s.n, Candidates: len(cands),
+		Applied: true, Err: s.curErr, Ands: s.cur.NumAnds()}, nil
+}
+
+func (s *Session) record(rec IterRecord) {
+	s.history = append(s.history, rec)
+}
+
+func (s *Session) finish(reason string) Event {
+	s.done = true
+	s.reason = reason
+	return s.doneEvent()
+}
+
+func (s *Session) doneEvent() Event {
+	return Event{Kind: EventDone, Iteration: s.iterations, Rounds: s.n,
+		Err: s.curErr, Ands: s.cur.NumAnds(), Done: true, Reason: s.reason}
+}
+
+// Done reports whether the flow has terminated.
+func (s *Session) Done() bool { return s.done }
+
+// Reason returns the termination reason ("" while the session is live).
+func (s *Session) Reason() string { return s.reason }
+
+// Iterations returns the number of completed iterations.
+func (s *Session) Iterations() int { return s.iterations }
+
+// Applied returns the number of accepted LACs so far.
+func (s *Session) Applied() int { return s.applied }
+
+// Rounds returns the care-set simulation rounds N currently in effect.
+func (s *Session) Rounds() int { return s.n }
+
+// CurrentError returns the cumulative estimated error of the working circuit.
+func (s *Session) CurrentError() float64 { return s.curErr }
+
+// CurrentAnds returns the AND count of the working circuit.
+func (s *Session) CurrentAnds() int { return s.cur.NumAnds() }
+
+// History returns the iteration trace so far (a live slice; do not mutate).
+func (s *Session) History() []IterRecord { return s.history }
+
+// Result finalizes the session outcome: the smallest circuit observed and
+// its measured error on the evaluation pattern set. It may be called on a
+// live session (e.g. after a deadline) for the best-so-far result; the
+// session can keep stepping afterwards.
+func (s *Session) Result() Result {
+	if !s.finalOK || !s.done {
+		s.finalErr = s.ev.EvalGraph(s.best, s.evalPats)
+		s.finalOK = s.done
+	}
+	return Result{
+		Graph:      s.best,
+		FinalError: s.finalErr,
+		Iterations: s.iterations,
+		Applied:    s.applied,
+		History:    s.history,
+	}
+}

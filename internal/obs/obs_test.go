@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alsrac_iterations_total", "total flow iterations")
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("alsrac_queue_depth", "queued jobs")
+	g.Set(7)
+	g.Dec()
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP alsrac_iterations_total total flow iterations\n",
+		"# TYPE alsrac_iterations_total counter\n",
+		"alsrac_iterations_total 5\n",
+		"# TYPE alsrac_queue_depth gauge\n",
+		"alsrac_queue_depth 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledFamilyRendersHeaderOnce(t *testing.T) {
+	r := NewRegistry()
+	// Registered out of order: rendering must sort and group the family.
+	r.Gauge("alsrac_jobs", "jobs by state", "state", "running").Set(2)
+	r.Gauge("alsrac_jobs", "jobs by state", "state", "done").Set(5)
+	r.Gauge("alsrac_jobs", "jobs by state", "state", "queued").Set(1)
+
+	out := render(t, r)
+	if strings.Count(out, "# TYPE alsrac_jobs gauge") != 1 {
+		t.Fatalf("family header not emitted exactly once:\n%s", out)
+	}
+	wantOrder := []string{
+		`alsrac_jobs{state="done"} 5`,
+		`alsrac_jobs{state="queued"} 1`,
+		`alsrac_jobs{state="running"} 2`,
+	}
+	pos := -1
+	for _, w := range wantOrder {
+		i := strings.Index(out, w)
+		if i < 0 {
+			t.Fatalf("missing %q in:\n%s", w, out)
+		}
+		if i < pos {
+			t.Fatalf("series out of order (%q):\n%s", w, out)
+		}
+		pos = i
+	}
+}
+
+func TestRegistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	la := r.Counter("x_total", "x", "k", "v")
+	if la == a {
+		t.Fatal("labeled series aliases unlabeled series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alsrac_step_seconds", "step latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`alsrac_step_seconds_bucket{le="0.01"} 1`,
+		`alsrac_step_seconds_bucket{le="0.1"} 3`,
+		`alsrac_step_seconds_bucket{le="1"} 4`,
+		`alsrac_step_seconds_bucket{le="+Inf"} 5`,
+		`alsrac_step_seconds_sum 5.605`,
+		`alsrac_step_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "b", []float64{1})
+	h.Observe(1) // le="1" is inclusive, Prometheus semantics
+	out := render(t, r)
+	if !strings.Contains(out, `b_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in inclusive bucket:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "e", "path", `a"b\c`).Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `esc_total{path="a\"b\\c"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		for _, s := range []string{"zeta", "alpha", "mid"} {
+			r.Gauge("multi", "m", "k", s).Set(int64(len(s)))
+		}
+		r.Counter("aaa_total", "a").Inc()
+		var b strings.Builder
+		r.WritePrometheus(&b)
+		return b.String()
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if got := build(); got != first {
+			t.Fatalf("output not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d", h.Count())
+	}
+}

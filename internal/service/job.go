@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/aig"
+	"repro/internal/core"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// StateQueued: accepted (or re-enqueued after a restart) and waiting
+	// for a worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is stepping the job's session.
+	StateRunning State = "running"
+	// StateDone: the flow terminated (or hit its deadline with a usable
+	// best-so-far result); the result circuit is available.
+	StateDone State = "done"
+	// StateFailed: the job cannot make progress (bad circuit, I/O error).
+	StateFailed State = "failed"
+	// StateCancelled: terminated by DELETE /jobs/{id}.
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one NDJSON progress record: either a state transition or one
+// session step.
+type Event struct {
+	Job   string      `json:"job"`
+	Seq   int         `json:"seq"`
+	State State       `json:"state,omitempty"`
+	Step  *core.Event `json:"step,omitempty"`
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID           string            `json:"id"`
+	Spec         JobSpec           `json:"spec"`
+	State        State             `json:"state"`
+	Error        string            `json:"error,omitempty"`
+	TimedOut     bool              `json:"timed_out,omitempty"`
+	Reason       string            `json:"reason,omitempty"`
+	Iterations   int               `json:"iterations"`
+	Applied      int               `json:"applied"`
+	Ands         int               `json:"ands"`
+	CurrentError float64           `json:"current_error"`
+	FinalError   float64           `json:"final_error,omitempty"`
+	History      []core.IterRecord `json:"history,omitempty"`
+}
+
+// subscriber is one NDJSON event stream client.
+type subscriber struct {
+	ch chan Event
+}
+
+// Job is one synthesis job. All mutable fields are guarded by mu; the
+// session itself is only ever touched by the single worker that owns the
+// running job.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu       sync.Mutex
+	state    State
+	errMsg   string
+	timedOut bool
+	reason   string
+
+	iterations   int
+	applied      int
+	ands         int
+	curErr       float64
+	finalErr     float64
+	history      []core.IterRecord
+	resultGraph  *aig.Graph // in-memory result when completed in this process
+	hasResult     bool
+	hasCheckpoint bool // a checkpoint file exists on disk (resume candidate)
+
+	events []Event
+	subs   []*subscriber
+
+	cancelRequested bool
+	cancel          context.CancelFunc // set while running
+}
+
+// Status returns a consistent snapshot. History is copied so callers can
+// serialize it without holding the lock.
+func (j *Job) Status(withHistory bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:           j.ID,
+		Spec:         j.Spec,
+		State:        j.state,
+		Error:        j.errMsg,
+		TimedOut:     j.timedOut,
+		Reason:       j.reason,
+		Iterations:   j.iterations,
+		Applied:      j.applied,
+		Ands:         j.ands,
+		CurrentError: j.curErr,
+		FinalError:   j.finalErr,
+	}
+	if withHistory {
+		st.History = append([]core.IterRecord(nil), j.history...)
+	}
+	return st
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// publishLocked appends an event to the log and fans it out to subscribers.
+// Slow subscribers lose events rather than stalling the worker (their
+// buffered channel fills); the NDJSON handler replays from the log by
+// sequence number, so a lagging client can reconnect with ?from=. Callers
+// must hold j.mu.
+func (j *Job) publishLocked(ev Event) {
+	ev.Job = j.ID
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	for _, s := range j.subs {
+		select {
+		case s.ch <- ev:
+		default:
+		}
+	}
+	if ev.State.terminal() {
+		for _, s := range j.subs {
+			close(s.ch)
+		}
+		j.subs = nil
+	}
+}
+
+// recordStep mirrors one session step into the job's public fields and
+// publishes it.
+func (j *Job) recordStep(ev core.Event, s *core.Session) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.iterations = s.Iterations()
+	j.applied = s.Applied()
+	j.ands = ev.Ands
+	j.curErr = ev.Err
+	if ev.Reason != "" {
+		j.reason = ev.Reason
+	}
+	j.history = s.History()
+	step := ev
+	j.publishLocked(Event{Step: &step})
+}
+
+// Subscribe registers an event-stream client: it returns a replay of the
+// event log from seq `from` onward, a channel for live events, and an
+// unsubscribe function. On a terminal job the channel is already closed.
+func (j *Job) Subscribe(from int) ([]Event, <-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	replay := append([]Event(nil), j.events[from:]...)
+	ch := make(chan Event, 256)
+	if j.state.terminal() {
+		close(ch)
+		return replay, ch, func() {}
+	}
+	sub := &subscriber{ch: ch}
+	j.subs = append(j.subs, sub)
+	unsub := func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		for i, s := range j.subs {
+			if s == sub {
+				j.subs = append(j.subs[:i], j.subs[i+1:]...)
+				close(s.ch)
+				return
+			}
+		}
+	}
+	return replay, ch, unsub
+}

@@ -1,0 +1,529 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Sentinel errors returned by the Manager's public API.
+var (
+	ErrQueueFull = errors.New("service: submission queue is full")
+	ErrNotFound  = errors.New("service: no such job")
+	ErrNotDone   = errors.New("service: job has no result yet")
+)
+
+// Config configures a Manager.
+type Config struct {
+	// Dir is the root of the job store (specs, circuits, checkpoints,
+	// results). Required.
+	Dir string
+	// QueueSize bounds the submission queue; Submit fails with ErrQueueFull
+	// beyond it. Default 256.
+	QueueSize int
+	// Workers is the number of jobs run concurrently (each job additionally
+	// parallelizes internally per its spec's Workers knob). Default 1.
+	Workers int
+	// CheckpointEvery checkpoints a running session every that many
+	// iterations (in addition to the checkpoint taken at graceful
+	// shutdown). Default 8.
+	CheckpointEvery int
+	// DefaultTimeoutSec applies to jobs whose spec carries no timeout.
+	// 0 means no default deadline.
+	DefaultTimeoutSec float64
+	// Now supplies wall-clock time for latency metrics. The clock is
+	// injected — this package may not read time.Now itself (alsraclint
+	// determinism rule) — and may be nil, which disables step-latency
+	// observation.
+	Now func() time.Time
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// managerMetrics is the fixed instrument set exposed at /metrics.
+type managerMetrics struct {
+	jobsByState map[State]*obs.Gauge
+	queueDepth  *obs.Gauge
+	submitted   *obs.Counter
+	iterations  *obs.Counter
+	lacsApplied *obs.Counter
+	checkpoints *obs.Counter
+	resumes     *obs.Counter
+	stepSeconds *obs.Histogram
+}
+
+// Manager owns the job table, the bounded submission queue and the worker
+// pool. Construct with New, then call Run to process jobs; Run returns only
+// after a graceful drain (every in-flight session checkpointed).
+type Manager struct {
+	cfg Config
+	st  *store
+	reg *obs.Registry
+	met managerMetrics
+
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []*Job // insertion-ordered view of jobs (determinism: never range the map)
+	nextID int
+}
+
+// New builds a Manager over cfg.Dir, recovering every persisted job: jobs
+// in a terminal state are loaded for status/result serving, interrupted ones
+// (queued or running at the time of death) are re-enqueued and will resume
+// from their latest checkpoint.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("service: Config.Dir is required")
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 8
+	}
+	st, err := newStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	met := managerMetrics{
+		jobsByState: map[State]*obs.Gauge{},
+		queueDepth:  reg.Gauge("alsrac_queue_depth", "jobs waiting for a worker"),
+		submitted:   reg.Counter("alsrac_jobs_submitted_total", "jobs accepted by POST /jobs"),
+		iterations:  reg.Counter("alsrac_iterations_total", "Algorithm 3 iterations stepped across all jobs"),
+		lacsApplied: reg.Counter("alsrac_lacs_applied_total", "local approximate changes committed"),
+		checkpoints: reg.Counter("alsrac_checkpoints_total", "session checkpoints written"),
+		resumes:     reg.Counter("alsrac_resumes_total", "sessions restored from a checkpoint"),
+		stepSeconds: reg.Histogram("alsrac_step_seconds", "session step latency in seconds", obs.LatencyBuckets()),
+	}
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		met.jobsByState[s] = reg.Gauge("alsrac_jobs", "jobs by lifecycle state", "state", string(s))
+	}
+
+	stored, err := st.loadAll()
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:    cfg,
+		st:     st,
+		reg:    reg,
+		met:    met,
+		jobs:   map[string]*Job{},
+		nextID: st.nextID(stored),
+	}
+
+	var pending []*Job
+	for _, sj := range stored {
+		job := &Job{
+			ID:            sj.id,
+			Spec:          sj.spec,
+			state:         sj.state.State,
+			errMsg:        sj.state.Error,
+			timedOut:      sj.state.TimedOut,
+			reason:        sj.state.Reason,
+			finalErr:      sj.state.FinalErr,
+			hasCheckpoint: sj.hasCheckpoint,
+		}
+		if !job.state.terminal() {
+			job.state = StateQueued
+			pending = append(pending, job)
+		}
+		m.jobs[job.ID] = job
+		m.order = append(m.order, job)
+		m.met.jobsByState[job.state].Inc()
+	}
+
+	size := cfg.QueueSize
+	if n := len(pending) + cfg.Workers; n > size {
+		size = n
+	}
+	m.queue = make(chan *Job, size)
+	for _, job := range pending {
+		m.queue <- job
+		if job.hasCheckpoint {
+			m.logf("job %s: re-enqueued, will resume from checkpoint", job.ID)
+		} else {
+			m.logf("job %s: re-enqueued from scratch", job.ID)
+		}
+	}
+	m.met.queueDepth.Set(int64(len(pending)))
+	return m, nil
+}
+
+// Registry exposes the manager's metrics for /metrics rendering.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Run processes jobs until ctx is cancelled, then drains: every worker
+// checkpoints its in-flight session (the job stays non-terminal on disk and
+// resumes on the next Run) before Run returns. No goroutine outlives Run.
+func (m *Manager) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	for w := 0; w < m.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.workerLoop(ctx)
+		}()
+	}
+	wg.Wait()
+}
+
+func (m *Manager) workerLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-m.queue:
+			m.met.queueDepth.Dec()
+			m.runJob(ctx, job)
+		}
+	}
+}
+
+// transition moves the job to state s (terminal states stick) and keeps the
+// per-state gauges consistent.
+func (m *Manager) transition(job *Job, s State) {
+	job.mu.Lock()
+	old := job.state
+	if old == s || old.terminal() {
+		job.mu.Unlock()
+		return
+	}
+	job.state = s
+	job.publishLocked(Event{State: s})
+	job.mu.Unlock()
+	m.met.jobsByState[old].Dec()
+	m.met.jobsByState[s].Inc()
+}
+
+// Submit validates, persists and enqueues a new job. The circuit is parsed
+// eagerly so malformed submissions fail here, not in a worker.
+func (m *Manager) Submit(spec JobSpec, circuit []byte) (JobStatus, error) {
+	if err := spec.Normalize(); err != nil {
+		return JobStatus{}, err
+	}
+	if spec.TimeoutSec == 0 {
+		spec.TimeoutSec = m.cfg.DefaultTimeoutSec
+	}
+	if _, err := spec.Options(); err != nil {
+		return JobStatus{}, err
+	}
+	g, err := ParseCircuit(spec.Format, circuit)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("parsing circuit: %w", err)
+	}
+
+	m.mu.Lock()
+	id := formatID(m.nextID)
+	m.nextID++
+	m.mu.Unlock()
+
+	if err := m.st.createJob(id, spec, circuit); err != nil {
+		return JobStatus{}, err
+	}
+	job := &Job{ID: id, Spec: spec, state: StateQueued, ands: g.NumAnds()}
+
+	m.mu.Lock()
+	m.jobs[id] = job
+	m.order = append(m.order, job)
+	m.mu.Unlock()
+
+	select {
+	case m.queue <- job:
+	default:
+		// Roll back: the job was never visible as accepted. Remove by
+		// identity — a concurrent Submit may have appended after us.
+		m.mu.Lock()
+		delete(m.jobs, id)
+		for i, j := range m.order {
+			if j == job {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		os.RemoveAll(m.st.jobDir(id))
+		return JobStatus{}, ErrQueueFull
+	}
+	m.met.submitted.Inc()
+	m.met.queueDepth.Inc()
+	m.met.jobsByState[StateQueued].Inc()
+	return job.Status(false), nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Job(nil), m.order...)
+}
+
+// Cancel requests cancellation: queued jobs terminate immediately, running
+// jobs at their next step boundary. Cancelling a terminal job is a no-op.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	job, ok := m.Get(id)
+	if !ok {
+		return JobStatus{}, ErrNotFound
+	}
+	job.mu.Lock()
+	if job.state.terminal() {
+		job.mu.Unlock()
+		return job.Status(false), nil
+	}
+	job.cancelRequested = true
+	cancel := job.cancel
+	wasQueued := job.state == StateQueued
+	job.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if wasQueued {
+		// The job may still sit in the queue channel; runJob skips
+		// terminal jobs when it eventually pops it.
+		m.finalizeCancelled(job)
+	}
+	return job.Status(false), nil
+}
+
+// ResultGraph returns the optimized circuit of a completed job, loading it
+// from the store if the job finished in a previous process.
+func (m *Manager) ResultGraph(id string) (*aig.Graph, error) {
+	job, ok := m.Get(id)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	job.mu.Lock()
+	state, g := job.state, job.resultGraph
+	job.mu.Unlock()
+	if state != StateDone {
+		return nil, ErrNotDone
+	}
+	if g != nil {
+		return g, nil
+	}
+	g, err := m.st.loadResult(id)
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	job.resultGraph, job.hasResult = g, true
+	job.mu.Unlock()
+	return g, nil
+}
+
+// --- worker side -----------------------------------------------------------
+
+// runJob drives one job's session to completion, deadline, cancellation or
+// shutdown.
+func (m *Manager) runJob(parent context.Context, job *Job) {
+	job.mu.Lock()
+	if job.state.terminal() {
+		job.mu.Unlock()
+		return
+	}
+	if job.cancelRequested {
+		job.mu.Unlock()
+		m.finalizeCancelled(job)
+		return
+	}
+	var jobCtx context.Context
+	var cancel context.CancelFunc
+	if t := job.Spec.TimeoutSec; t > 0 {
+		jobCtx, cancel = context.WithTimeout(parent, time.Duration(t*float64(time.Second)))
+	} else {
+		jobCtx, cancel = context.WithCancel(parent)
+	}
+	job.cancel = cancel
+	job.mu.Unlock()
+	defer cancel()
+
+	m.transition(job, StateRunning)
+	_ = m.st.saveState(job.ID, persistedState{State: StateRunning})
+
+	sess, err := m.buildSession(job)
+	if err != nil {
+		m.finalizeFailed(job, err)
+		return
+	}
+
+	countdown := m.cfg.CheckpointEvery
+	for {
+		var t0 time.Time
+		if m.cfg.Now != nil {
+			t0 = m.cfg.Now()
+		}
+		i0 := sess.Iterations()
+		ev, err := sess.Step(jobCtx)
+		if m.cfg.Now != nil {
+			m.met.stepSeconds.Observe(m.cfg.Now().Sub(t0).Seconds())
+		}
+		if err != nil {
+			m.handleInterrupt(parent, jobCtx, job, sess)
+			return
+		}
+		// A terminating step can still commit an iteration (threshold hit),
+		// so count by session delta rather than by event kind.
+		if d := sess.Iterations() - i0; d > 0 {
+			m.met.iterations.Add(uint64(d))
+		}
+		if ev.Applied {
+			m.met.lacsApplied.Inc()
+		}
+		job.recordStep(ev, sess)
+		if ev.Done {
+			m.finalizeDone(job, sess, false)
+			return
+		}
+		countdown--
+		if countdown <= 0 {
+			countdown = m.cfg.CheckpointEvery
+			if err := m.checkpoint(job, sess); err != nil {
+				m.logf("job %s: checkpoint failed: %v", job.ID, err)
+			}
+		}
+	}
+}
+
+// buildSession restores the job's session from its checkpoint when one
+// exists, falling back to a fresh session from the original circuit (a
+// corrupt checkpoint is logged and discarded, never fatal: determinism
+// guarantees the rerun converges to the same result).
+func (m *Manager) buildSession(job *Job) (*core.Session, error) {
+	opts, err := job.Spec.Options()
+	if err != nil {
+		return nil, err
+	}
+	job.mu.Lock()
+	tryCkpt := job.hasCheckpoint
+	job.mu.Unlock()
+	if tryCkpt {
+		f, err := os.Open(m.st.checkpointPath(job.ID))
+		if err == nil {
+			sess, rerr := core.Restore(f, opts)
+			f.Close()
+			if rerr == nil {
+				m.met.resumes.Inc()
+				m.logf("job %s: resumed from checkpoint at iteration %d", job.ID, sess.Iterations())
+				return sess, nil
+			}
+			m.logf("job %s: discarding unusable checkpoint: %v", job.ID, rerr)
+		}
+	}
+	circuit, err := m.st.loadCircuit(job.ID)
+	if err != nil {
+		return nil, fmt.Errorf("loading circuit: %w", err)
+	}
+	g, err := ParseCircuit(job.Spec.Format, circuit)
+	if err != nil {
+		return nil, fmt.Errorf("parsing circuit: %w", err)
+	}
+	return core.NewSession(g, opts), nil
+}
+
+// checkpoint persists the session state atomically.
+func (m *Manager) checkpoint(job *Job, sess *core.Session) error {
+	err := m.st.saveCheckpoint(job.ID, func(w *os.File) error { return sess.Snapshot(w) })
+	if err != nil {
+		return err
+	}
+	job.mu.Lock()
+	job.hasCheckpoint = true
+	job.mu.Unlock()
+	m.met.checkpoints.Inc()
+	return nil
+}
+
+// handleInterrupt classifies a Step error: per-job cancellation, per-job
+// deadline (the job completes with its best-so-far result), or manager
+// shutdown (the session is checkpointed and the job left resumable).
+func (m *Manager) handleInterrupt(parent, jobCtx context.Context, job *Job, sess *core.Session) {
+	job.mu.Lock()
+	cancelled := job.cancelRequested
+	job.mu.Unlock()
+	switch {
+	case cancelled:
+		m.finalizeCancelled(job)
+	case errors.Is(jobCtx.Err(), context.DeadlineExceeded) && parent.Err() == nil:
+		m.logf("job %s: deadline reached, finishing with best-so-far result", job.ID)
+		m.finalizeDone(job, sess, true)
+	default:
+		// Graceful shutdown: checkpoint and leave the job resumable.
+		if err := m.checkpoint(job, sess); err != nil {
+			m.logf("job %s: shutdown checkpoint failed: %v", job.ID, err)
+		} else {
+			m.logf("job %s: checkpointed at iteration %d for shutdown", job.ID, sess.Iterations())
+		}
+		m.transition(job, StateQueued)
+		_ = m.st.saveState(job.ID, persistedState{State: StateQueued})
+	}
+}
+
+func (m *Manager) finalizeDone(job *Job, sess *core.Session, timedOut bool) {
+	res := sess.Result()
+	if err := m.st.saveResult(job.ID, res.Graph); err != nil {
+		m.finalizeFailed(job, fmt.Errorf("writing result: %w", err))
+		return
+	}
+	reason := sess.Reason()
+	if timedOut {
+		reason = "deadline"
+	}
+	job.mu.Lock()
+	job.resultGraph, job.hasResult = res.Graph, true
+	job.finalErr = res.FinalError
+	job.iterations, job.applied = res.Iterations, res.Applied
+	job.ands = res.Graph.NumAnds()
+	job.history = res.History
+	job.timedOut = timedOut
+	job.reason = reason
+	job.mu.Unlock()
+	_ = m.st.saveState(job.ID, persistedState{
+		State: StateDone, TimedOut: timedOut, Reason: reason, FinalErr: res.FinalError,
+	})
+	m.transition(job, StateDone)
+	m.logf("job %s: done (%d iterations, %d LACs, error %.6g%s)",
+		job.ID, res.Iterations, res.Applied, res.FinalError,
+		map[bool]string{true: ", deadline", false: ""}[timedOut])
+}
+
+func (m *Manager) finalizeFailed(job *Job, err error) {
+	job.mu.Lock()
+	job.errMsg = err.Error()
+	job.mu.Unlock()
+	_ = m.st.saveState(job.ID, persistedState{State: StateFailed, Error: err.Error()})
+	m.transition(job, StateFailed)
+	m.logf("job %s: failed: %v", job.ID, err)
+}
+
+func (m *Manager) finalizeCancelled(job *Job) {
+	_ = m.st.saveState(job.ID, persistedState{State: StateCancelled})
+	m.transition(job, StateCancelled)
+	m.logf("job %s: cancelled", job.ID)
+}

@@ -1,0 +1,163 @@
+// Package service implements alsracd's job engine: a bounded submission
+// queue feeding a pool of workers, each driving one checkpointed core.Session
+// at a time. Jobs survive process death — every job's spec, circuit,
+// checkpoint and result live under one directory, a new Manager re-enqueues
+// whatever was interrupted, and a restored session continues bitwise
+// identically to the run that was killed (the core checkpoint contract).
+//
+// The package obeys the same alsraclint determinism discipline as the
+// synthesis core: no wall-clock reads (the Manager's clock is injected via
+// Config.Now), no unseeded randomness (job IDs are sequential), and no
+// ordered results derived from map iteration (the job table keeps an
+// insertion-ordered slice beside its lookup map).
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/aiger"
+	"repro/internal/blif"
+	"repro/internal/core"
+	"repro/internal/errest"
+)
+
+// JobSpec is the serializable description of one synthesis job: everything
+// needed to rebuild identical core.Options after a restart. The circuit
+// body is stored separately (it can be large).
+type JobSpec struct {
+	Metric    string  `json:"metric"`    // "er", "nmed" or "mred"
+	Threshold float64 `json:"threshold"` // error threshold Et
+
+	Seed           int64   `json:"seed"`
+	EvalPatterns   int     `json:"eval_patterns"`
+	InitialRounds  int     `json:"initial_rounds"`
+	MaxLACsPerNode int     `json:"max_lacs_per_node"`
+	Patience       int     `json:"patience"`
+	Scale          float64 `json:"scale"`
+	MaxStall       int     `json:"max_stall"`
+	MaxDepthRatio  float64 `json:"max_depth_ratio"`
+	Workers        int     `json:"workers"` // per-session worker goroutines (0 = all CPUs)
+
+	// Format of the submitted circuit: "blif", "aag", "aig" or "auto"
+	// (sniffed from the payload).
+	Format string `json:"format"`
+
+	// TimeoutSec bounds one running attempt of the job; on expiry the job
+	// completes with its best-so-far result (TimedOut is set on the status).
+	// 0 means no deadline.
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+}
+
+// ParseMetric maps the wire name of a metric to the errest constant.
+func ParseMetric(s string) (errest.Metric, error) {
+	switch strings.ToLower(s) {
+	case "er":
+		return errest.ER, nil
+	case "nmed":
+		return errest.NMED, nil
+	case "mred":
+		return errest.MRED, nil
+	}
+	return 0, fmt.Errorf("unknown metric %q (er, nmed, mred)", s)
+}
+
+// Normalize fills unset fields with the paper's default parameters so the
+// persisted spec is self-contained: a resumed job must rebuild the exact
+// same core.Options even if the daemon's defaults change between versions.
+func (s *JobSpec) Normalize() error {
+	if _, err := ParseMetric(s.Metric); err != nil {
+		return err
+	}
+	if s.Threshold < 0 {
+		return fmt.Errorf("threshold must be non-negative, got %v", s.Threshold)
+	}
+	def := core.DefaultOptions(errest.ER, 0)
+	if s.Seed == 0 {
+		s.Seed = def.Seed
+	}
+	if s.EvalPatterns <= 0 {
+		s.EvalPatterns = def.EvalPatterns
+	}
+	if s.InitialRounds <= 0 {
+		s.InitialRounds = def.InitialRounds
+	}
+	if s.MaxLACsPerNode <= 0 {
+		s.MaxLACsPerNode = def.MaxLACsPerNode
+	}
+	if s.Patience <= 0 {
+		s.Patience = def.Patience
+	}
+	if s.Scale <= 0 || s.Scale > 1 {
+		s.Scale = def.Scale
+	}
+	if s.MaxStall <= 0 {
+		s.MaxStall = def.MaxStall
+	}
+	if s.MaxDepthRatio < 0 {
+		s.MaxDepthRatio = 0
+	}
+	if s.Workers < 0 {
+		s.Workers = 0
+	}
+	if s.TimeoutSec < 0 {
+		s.TimeoutSec = 0
+	}
+	if s.Format == "" {
+		s.Format = "auto"
+	}
+	switch s.Format {
+	case "auto", "blif", "aag", "aig":
+	default:
+		return fmt.Errorf("unknown circuit format %q (auto, blif, aag, aig)", s.Format)
+	}
+	return nil
+}
+
+// Options rebuilds the core.Options for this spec. Two calls on the same
+// normalized spec return identical options — the property crash-safe resume
+// relies on.
+func (s JobSpec) Options() (core.Options, error) {
+	m, err := ParseMetric(s.Metric)
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts := core.DefaultOptions(m, s.Threshold)
+	opts.Seed = s.Seed
+	opts.EvalPatterns = s.EvalPatterns
+	opts.InitialRounds = s.InitialRounds
+	opts.MaxLACsPerNode = s.MaxLACsPerNode
+	opts.Patience = s.Patience
+	opts.Scale = s.Scale
+	opts.MaxStall = s.MaxStall
+	opts.MaxDepthRatio = s.MaxDepthRatio
+	opts.Workers = s.Workers
+	return opts, nil
+}
+
+// ParseCircuit decodes the submitted circuit body according to the spec's
+// format ("auto" sniffs AIGER magic, otherwise BLIF).
+func ParseCircuit(format string, data []byte) (*aig.Graph, error) {
+	switch format {
+	case "aag", "aig":
+		return aiger.Read(bytes.NewReader(data))
+	case "blif":
+		return readBLIF(data)
+	case "auto", "":
+		if bytes.HasPrefix(data, []byte("aag ")) || bytes.HasPrefix(data, []byte("aig ")) {
+			return aiger.Read(bytes.NewReader(data))
+		}
+		return readBLIF(data)
+	}
+	return nil, fmt.Errorf("unknown circuit format %q", format)
+}
+
+func readBLIF(data []byte) (*aig.Graph, error) {
+	net, err := blif.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return net.ToAIG()
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/aiger"
+)
+
+// On-disk layout, one directory per job under the manager's root:
+//
+//	<dir>/<id>/spec.json    the normalized JobSpec
+//	<dir>/<id>/circuit      the submitted circuit, verbatim
+//	<dir>/<id>/checkpoint   core.Session checkpoint (periodic + at shutdown)
+//	<dir>/<id>/state.json   last persisted lifecycle state
+//	<dir>/<id>/result.aag   the optimized circuit, once done
+//
+// Every file is written via temp-file + rename, so a crash mid-write leaves
+// either the old or the new version, never a torn one. A job whose
+// state.json is missing or non-terminal is re-enqueued at startup; if a
+// checkpoint exists the session resumes from it, otherwise the job restarts
+// from the original circuit — both paths converge to the same final result
+// because the flow is deterministic in the (seed, spec) pair.
+
+// persistedState is the state.json payload.
+type persistedState struct {
+	State    State   `json:"state"`
+	Error    string  `json:"error,omitempty"`
+	TimedOut bool    `json:"timed_out,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+	FinalErr float64 `json:"final_error,omitempty"`
+}
+
+type store struct {
+	dir string
+}
+
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating job dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) jobDir(id string) string { return filepath.Join(st.dir, id) }
+
+// writeAtomic writes data to path via a temp file in the same directory and
+// an atomic rename.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, path)
+}
+
+// createJob persists a new job's spec and circuit.
+func (st *store) createJob(id string, spec JobSpec, circuit []byte) error {
+	dir := st.jobDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	specJSON, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, "spec.json"), specJSON); err != nil {
+		return err
+	}
+	if err := writeAtomic(filepath.Join(dir, "circuit"), circuit); err != nil {
+		return err
+	}
+	return st.saveState(id, persistedState{State: StateQueued})
+}
+
+func (st *store) saveState(id string, ps persistedState) error {
+	data, err := json.Marshal(ps)
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(st.jobDir(id), "state.json"), data)
+}
+
+func (st *store) loadCircuit(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(st.jobDir(id), "circuit"))
+}
+
+func (st *store) checkpointPath(id string) string {
+	return filepath.Join(st.jobDir(id), "checkpoint")
+}
+
+func (st *store) hasCheckpoint(id string) bool {
+	_, err := os.Stat(st.checkpointPath(id))
+	return err == nil
+}
+
+// saveCheckpoint snapshots the session atomically.
+func (st *store) saveCheckpoint(id string, snapshot func(w *os.File) error) error {
+	dir := st.jobDir(id)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := snapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, st.checkpointPath(id))
+}
+
+func (st *store) saveResult(id string, g *aig.Graph) error {
+	var buf strings.Builder
+	if err := aiger.Write(&buf, g, "aag"); err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(st.jobDir(id), "result.aag"), []byte(buf.String()))
+}
+
+func (st *store) loadResult(id string) (*aig.Graph, error) {
+	f, err := os.Open(filepath.Join(st.jobDir(id), "result.aag"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return aiger.Read(f)
+}
+
+// storedJob is one job recovered from disk at startup.
+type storedJob struct {
+	id            string
+	spec          JobSpec
+	state         persistedState
+	hasCheckpoint bool
+}
+
+// loadAll scans the job directory and returns every persisted job sorted by
+// id (ids are zero-padded sequence numbers, so lexical order is submission
+// order).
+func (st *store) loadAll() ([]storedJob, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []storedJob
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "j") {
+			continue
+		}
+		id := e.Name()
+		specData, err := os.ReadFile(filepath.Join(st.jobDir(id), "spec.json"))
+		if err != nil {
+			continue // torn submission: spec.json is written first, skip
+		}
+		var spec JobSpec
+		if err := json.Unmarshal(specData, &spec); err != nil {
+			continue
+		}
+		sj := storedJob{id: id, spec: spec, hasCheckpoint: st.hasCheckpoint(id)}
+		if data, err := os.ReadFile(filepath.Join(st.jobDir(id), "state.json")); err == nil {
+			_ = json.Unmarshal(data, &sj.state)
+		}
+		if sj.state.State == "" {
+			sj.state.State = StateQueued
+		}
+		out = append(out, sj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out, nil
+}
+
+// nextID returns the next job id after the highest one present on disk.
+func (st *store) nextID(loaded []storedJob) int {
+	next := 1
+	for _, sj := range loaded {
+		if n, err := strconv.Atoi(strings.TrimPrefix(sj.id, "j")); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+func formatID(n int) string { return fmt.Sprintf("j%06d", n) }

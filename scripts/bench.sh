@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh — run the core benchmarks (simulation, candidate generation,
-# candidate ranking, end-to-end flow) and record ns/op, B/op and allocs/op
-# as JSON. Usage: scripts/bench.sh [out.json]; BENCHTIME overrides the
-# per-benchmark time (default 1s).
+# candidate ranking, end-to-end flow, service job throughput) and record
+# ns/op, B/op and allocs/op as JSON. Usage: scripts/bench.sh [out.json];
+# BENCHTIME overrides the per-benchmark time (default 1s).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR2.json}"
+out="${1:-BENCH_PR4.json}"
 benchtime="${BENCHTIME:-1s}"
 
 tmp="$(mktemp)"
@@ -16,6 +16,8 @@ go test -run '^$' -bench 'BenchmarkSimulate$|BenchmarkGenerate$|BenchmarkALSRACF
     -benchmem -benchtime="$benchtime" . | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkRankCandidates$' \
     -benchmem -benchtime="$benchtime" ./internal/core | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkServiceThroughput$' \
+    -benchmem -benchtime="$benchtime" ./internal/service | tee -a "$tmp"
 
 awk '
 /^Benchmark/ {

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# smoke_daemon.sh — end-to-end smoke test of the alsracd daemon: build it,
+# start it, submit an example circuit over HTTP, follow the job to
+# completion, fetch the result, scrape /metrics, and shut down gracefully.
+# Usage: scripts/smoke_daemon.sh [port] (default 18337).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-18337}"
+base="http://localhost:$port"
+dir="$(mktemp -d)"
+log="$dir/alsracd.log"
+
+go build -o "$dir/alsracd" ./cmd/alsracd
+
+"$dir/alsracd" -addr "localhost:$port" -dir "$dir/jobs" -jobs 2 >"$log" 2>&1 &
+pid=$!
+cleanup() {
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+# Wait for the daemon to come up.
+for i in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    if [ "$i" = 50 ]; then echo "daemon never became healthy"; cat "$log"; exit 1; fi
+    sleep 0.1
+done
+echo "daemon healthy on port $port"
+
+# Submit the example circuit.
+submit="$(curl -sf -X POST --data-binary @examples/circuits/cla16.blif \
+    "$base/jobs?metric=er&threshold=0.05&seed=3&eval=1024")"
+id="$(printf '%s' "$submit" | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p')"
+if [ -z "$id" ]; then echo "submit failed: $submit"; exit 1; fi
+echo "submitted job $id"
+
+# Poll until the job reaches a terminal state.
+state=""
+for i in $(seq 1 600); do
+    status="$(curl -sf "$base/jobs/$id?history=0")"
+    state="$(printf '%s' "$status" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "job ended in state $state: $status"; exit 1 ;;
+    esac
+    if [ "$i" = 600 ]; then echo "job stuck in state $state"; exit 1; fi
+    sleep 0.1
+done
+echo "job $id done"
+
+# The event stream must replay to a terminal event.
+events="$(curl -sf "$base/jobs/$id/events")"
+printf '%s\n' "$events" | grep -q '"state":"done"' || {
+    echo "event stream has no terminal event:"; printf '%s\n' "$events"; exit 1; }
+
+# Fetch the result and sanity-check it is an AIGER file.
+curl -sf "$base/jobs/$id/result" >"$dir/result.aag"
+head -c 4 "$dir/result.aag" | grep -q "aag " || {
+    echo "result is not ASCII AIGER:"; head -1 "$dir/result.aag"; exit 1; }
+echo "result: $(head -1 "$dir/result.aag")"
+
+# Scrape /metrics and check the counters moved.
+metrics="$(curl -sf "$base/metrics")"
+printf '%s\n' "$metrics" | grep -q '^alsrac_jobs_submitted_total 1$' || {
+    echo "unexpected submitted counter:"; printf '%s\n' "$metrics" | grep alsrac_jobs; exit 1; }
+printf '%s\n' "$metrics" | grep -q '^alsrac_jobs{state="done"} 1$' || {
+    echo "job not counted as done:"; printf '%s\n' "$metrics" | grep alsrac_jobs; exit 1; }
+echo "metrics OK"
+
+# Graceful shutdown must complete promptly.
+kill -TERM "$pid"
+for i in $(seq 1 100); do
+    if ! kill -0 "$pid" 2>/dev/null; then break; fi
+    if [ "$i" = 100 ]; then echo "daemon did not shut down"; cat "$log"; exit 1; fi
+    sleep 0.1
+done
+wait "$pid" 2>/dev/null || true
+grep -q "shutdown complete" "$log" || { echo "no clean shutdown in log:"; cat "$log"; exit 1; }
+echo "daemon smoke test passed"

@@ -11,7 +11,11 @@ go build ./...
 go vet ./...
 go run ./cmd/alsraclint ./...
 go test ./...
-go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/errest ./internal/core
+go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/errest ./internal/core ./internal/obs ./internal/service
+
+# Daemon e2e smoke: submit over HTTP, poll to completion, scrape /metrics,
+# graceful shutdown.
+scripts/smoke_daemon.sh
 
 # Fuzz smoke: 10 seconds per target (go runs one -fuzz target at a time).
 FUZZTIME="${FUZZTIME:-10s}"
