@@ -62,7 +62,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(m)}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: service.NewHandler(m),
+		// Slow-client hardening: a peer that never finishes its headers or
+		// parks an idle keep-alive connection cannot pin a descriptor
+		// forever. No WriteTimeout: /jobs/{id}/events is a long-lived NDJSON
+		// stream that must outlive any fixed write deadline.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -7,6 +7,7 @@ package aiger
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -14,6 +15,41 @@ import (
 
 	"repro/internal/aig"
 )
+
+// Parser hardening limits. An adversarial header ("aag 999999999 ...") must
+// not drive allocation: every count is validated against MaxNodes before any
+// count-sized slice is made, and every line read is capped at MaxLineLen, so
+// the parser's memory use is bounded by the input it has actually consumed.
+const (
+	// MaxNodes bounds M (and independently the output count) of an accepted
+	// file: 2^23 nodes is far beyond every benchmark in the paper while
+	// keeping the worst-case parse allocation in the low hundreds of MB.
+	MaxNodes = 1 << 23
+	// MaxLineLen bounds a single line (including the symbol table).
+	MaxLineLen = 1 << 16
+)
+
+// ErrTooLarge is wrapped by every limit violation, so callers can map any
+// oversized dimension to one typed rejection (the daemon answers 422 with
+// it) without matching message text.
+var ErrTooLarge = errors.New("aiger: input exceeds parser limits")
+
+// readLine reads one '\n'-terminated line without ever buffering more than
+// MaxLineLen bytes, unlike ReadString, which grows without bound.
+func readLine(br *bufio.Reader) (string, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		buf = append(buf, frag...)
+		if len(buf) > MaxLineLen {
+			return "", fmt.Errorf("%w: line longer than %d bytes", ErrTooLarge, MaxLineLen)
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return string(buf), err
+	}
+}
 
 // Write emits the graph in the requested format ("aag" = ASCII, "aig" =
 // binary). AND nodes are renumbered into the contiguous variable range the
@@ -130,9 +166,9 @@ func writeUvarint(w *bufio.Writer, x uint32) {
 // Read parses an AIGER file in either format, auto-detected from the magic.
 func Read(r io.Reader) (*aig.Graph, error) {
 	br := bufio.NewReader(r)
-	header, err := br.ReadString('\n')
-	if err != nil {
-		return nil, fmt.Errorf("aiger: reading header: %v", err)
+	header, err := readLine(br)
+	if err != nil && header == "" {
+		return nil, fmt.Errorf("aiger: reading header: %w", err)
 	}
 	fields := strings.Fields(header)
 	if len(fields) < 6 {
@@ -152,6 +188,12 @@ func Read(r io.Reader) (*aig.Graph, error) {
 	}
 	if m != in+ands {
 		return nil, fmt.Errorf("aiger: inconsistent header: M=%d != I+A=%d", m, in+ands)
+	}
+	if m > MaxNodes {
+		return nil, fmt.Errorf("%w: %d nodes (limit %d)", ErrTooLarge, m, MaxNodes)
+	}
+	if out > MaxNodes {
+		return nil, fmt.Errorf("%w: %d outputs (limit %d)", ErrTooLarge, out, MaxNodes)
 	}
 	switch fields[0] {
 	case "aag":
@@ -174,9 +216,9 @@ func readASCII(br *bufio.Reader, in, out, ands int) (*aig.Graph, error) {
 	readLits := func(n int, what string) ([]uint32, error) {
 		lits := make([]uint32, n)
 		for i := range lits {
-			line, err := br.ReadString('\n')
-			if err != nil {
-				return nil, fmt.Errorf("aiger: reading %s %d: %v", what, i, err)
+			line, err := readLine(br)
+			if err != nil && line == "" {
+				return nil, fmt.Errorf("aiger: reading %s %d: %w", what, i, err)
 			}
 			v, err := strconv.ParseUint(strings.TrimSpace(line), 10, 32)
 			if err != nil {
@@ -194,9 +236,9 @@ func readASCII(br *bufio.Reader, in, out, ands int) (*aig.Graph, error) {
 		return nil, err
 	}
 	for i := 0; i < ands; i++ {
-		line, err := br.ReadString('\n')
-		if err != nil {
-			return nil, fmt.Errorf("aiger: reading and %d: %v", i, err)
+		line, err := readLine(br)
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("aiger: reading and %d: %w", i, err)
 		}
 		parts := strings.Fields(line)
 		if len(parts) != 3 {
@@ -222,9 +264,9 @@ func readBinary(br *bufio.Reader, in, out, ands int) (*aig.Graph, error) {
 		b.inputs = append(b.inputs, uint32(i+1)<<1)
 	}
 	for i := 0; i < out; i++ {
-		line, err := br.ReadString('\n')
-		if err != nil {
-			return nil, fmt.Errorf("aiger: reading output %d: %v", i, err)
+		line, err := readLine(br)
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("aiger: reading output %d: %w", i, err)
 		}
 		v, err := strconv.ParseUint(strings.TrimSpace(line), 10, 32)
 		if err != nil {
@@ -269,13 +311,15 @@ func readUvarint(br *bufio.Reader) (uint32, error) {
 	}
 }
 
-// readSymbols parses the optional symbol table and comment section.
+// readSymbols parses the optional symbol table and comment section. A limit
+// violation (an over-long symbol line) aborts the scan; the names collected
+// so far are kept — symbols are advisory, structure is already parsed.
 func readSymbols(br *bufio.Reader) (map[string]string, string) {
 	names := map[string]string{}
 	var comment []string
 	inComment := false
 	for {
-		line, err := br.ReadString('\n')
+		line, err := readLine(br)
 		if line == "" && err != nil {
 			break
 		}
@@ -327,6 +371,9 @@ func build(b *body, in int, names map[string]string, comment string) (*aig.Graph
 		lhs, r0, r1 := trip[0], trip[1], trip[2]
 		if lhs&1 == 1 || lhs>>1 == 0 {
 			return nil, fmt.Errorf("aiger: invalid and lhs %d", lhs)
+		}
+		if int(lhs>>1) >= len(lits) {
+			return nil, fmt.Errorf("aiger: and lhs %d out of variable range", lhs)
 		}
 		if r0 >= lhs || r1 >= lhs {
 			return nil, fmt.Errorf("aiger: and %d not topologically sorted", lhs)

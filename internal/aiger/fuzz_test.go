@@ -1,0 +1,87 @@
+package aiger
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzAIGERParse feeds arbitrary bytes to the AIGER reader. The hardened
+// contract: Read never panics and never allocates past its declared limits —
+// it returns an error (wrapping ErrTooLarge for limit violations) or a valid
+// graph. Accepted graphs must survive a write/read round trip in both
+// encodings with identical structure, which pins the parser and the writers
+// against each other.
+func FuzzAIGERParse(f *testing.F) {
+	f.Add([]byte("aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 y\n"))
+	f.Add([]byte("aag 0 0 0 1 0\n0\n"))
+	f.Add([]byte("aig 3 2 0 1 1\n6\n\x02\x02\n"))
+	f.Add([]byte("aag 999999999 999999999 0 0 0\n"))
+	f.Add([]byte("aag 1 0 0 0 1\n4294967294 0 0\n"))
+	f.Add([]byte("aag 3 2 1 1 0\n"))
+	f.Add([]byte("c\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if g != nil {
+				t.Fatal("Read returned a graph alongside an error")
+			}
+			return
+		}
+		for _, format := range []string{"aag", "aig"} {
+			var buf bytes.Buffer
+			if err := Write(&buf, g, format); err != nil {
+				t.Fatalf("accepted graph does not serialize as %s: %v", format, err)
+			}
+			g2, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("%s round trip rejected: %v", format, err)
+			}
+			if g2.NumPIs() != g.NumPIs() || g2.NumPOs() != g.NumPOs() || g2.NumAnds() != g.NumAnds() {
+				t.Fatalf("%s round trip changed shape: %d/%d/%d -> %d/%d/%d", format,
+					g.NumPIs(), g.NumPOs(), g.NumAnds(), g2.NumPIs(), g2.NumPOs(), g2.NumAnds())
+			}
+		}
+	})
+}
+
+// TestReadRejectsOversizedHeader pins the typed limit error: a header
+// demanding more nodes than MaxNodes is rejected before any count-sized
+// allocation, wrapping ErrTooLarge.
+func TestReadRejectsOversizedHeader(t *testing.T) {
+	cases := []string{
+		"aag 999999999 999999999 0 0 0\n",
+		"aag 16777218 16777216 0 0 2\n",
+		"aag 0 0 0 999999999 0\n",
+		"aig 999999999 999999999 0 0 0\n",
+	}
+	for _, in := range cases {
+		_, err := Read(bytes.NewReader([]byte(in)))
+		if err == nil {
+			t.Fatalf("oversized header %q accepted", in)
+		}
+		if !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("header %q: error %v does not wrap ErrTooLarge", in, err)
+		}
+	}
+}
+
+// TestReadRejectsOverlongLine: a line beyond MaxLineLen yields the typed
+// limit error rather than unbounded buffering.
+func TestReadRejectsOverlongLine(t *testing.T) {
+	long := append([]byte("aag "), bytes.Repeat([]byte("9"), MaxLineLen+1)...)
+	_, err := Read(bytes.NewReader(long))
+	if err == nil || !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("overlong header line: error %v, want ErrTooLarge", err)
+	}
+}
+
+// TestReadRejectsOutOfRangeAndLHS: an AND definition pointing outside the
+// declared variable range is a parse error, not an index panic.
+func TestReadRejectsOutOfRangeAndLHS(t *testing.T) {
+	_, err := Read(bytes.NewReader([]byte("aag 1 0 0 0 1\n4294967294 0 0\n")))
+	if err == nil {
+		t.Fatal("out-of-range and lhs accepted")
+	}
+}

@@ -109,7 +109,7 @@ func TestAnalyzersApplyToScopedPackages(t *testing.T) {
 	for _, path := range []string{
 		"repro/internal/core", "repro/internal/resub", "repro/internal/errest",
 		"repro/internal/sim", "repro/internal/aig", "repro/internal/wordops",
-		"repro/internal/service", "repro/internal/obs",
+		"repro/internal/service", "repro/internal/obs", "repro/internal/faultfs",
 	} {
 		if !DeterminismAnalyzer.AppliesTo(path) {
 			t.Errorf("determinism must apply to %s", path)

@@ -32,7 +32,7 @@ var DeterminismAnalyzer = &Analyzer{
 	AppliesTo: pathIn(
 		"internal/core", "internal/resub", "internal/errest",
 		"internal/sim", "internal/aig", "internal/wordops",
-		"internal/service", "internal/obs",
+		"internal/service", "internal/obs", "internal/faultfs",
 	),
 	Run: runDeterminism,
 }

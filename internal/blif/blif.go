@@ -9,10 +9,26 @@ package blif
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 )
+
+// Parser hardening limits: a single line (after continuation joining) and
+// the node/signal counts of an accepted network are capped so adversarial
+// inputs are rejected with a typed error instead of exhausting memory in
+// the AIG conversion downstream.
+const (
+	// MaxLineLen bounds one physical line and one joined logical line.
+	MaxLineLen = 1 << 20
+	// MaxNodes bounds .names nodes and declared inputs/outputs each.
+	MaxNodes = 1 << 23
+)
+
+// ErrTooLarge is wrapped by every limit violation, so callers can treat any
+// oversized dimension as one typed rejection class.
+var ErrTooLarge = errors.New("blif: input exceeds parser limits")
 
 // Row is one line of a .names cover: a pattern over the node inputs
 // ('0', '1' or '-') and the output value it asserts.
@@ -39,7 +55,7 @@ type Network struct {
 // Read parses a BLIF network from r.
 func Read(r io.Reader) (*Network, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), MaxLineLen)
 
 	var logical []string
 	var pending strings.Builder
@@ -52,6 +68,9 @@ func Read(r io.Reader) (*Network, error) {
 		if line == "" {
 			continue
 		}
+		if pending.Len()+len(line) > MaxLineLen {
+			return nil, fmt.Errorf("%w: continuation line longer than %d bytes", ErrTooLarge, MaxLineLen)
+		}
 		if strings.HasSuffix(line, "\\") {
 			pending.WriteString(strings.TrimSuffix(line, "\\"))
 			pending.WriteByte(' ')
@@ -62,7 +81,10 @@ func Read(r io.Reader) (*Network, error) {
 		pending.Reset()
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		if errors.Is(err, bufio.ErrTooLong) {
+			return nil, fmt.Errorf("%w: line longer than %d bytes", ErrTooLarge, MaxLineLen)
+		}
+		return nil, fmt.Errorf("blif: reading input: %w", err)
 	}
 
 	net := &Network{}
@@ -83,13 +105,22 @@ func Read(r io.Reader) (*Network, error) {
 		case ".inputs":
 			flush()
 			net.Inputs = append(net.Inputs, fields[1:]...)
+			if len(net.Inputs) > MaxNodes {
+				return nil, fmt.Errorf("%w: more than %d inputs", ErrTooLarge, MaxNodes)
+			}
 		case ".outputs":
 			flush()
 			net.Outputs = append(net.Outputs, fields[1:]...)
+			if len(net.Outputs) > MaxNodes {
+				return nil, fmt.Errorf("%w: more than %d outputs", ErrTooLarge, MaxNodes)
+			}
 		case ".names":
 			flush()
 			if len(fields) < 2 {
 				return nil, fmt.Errorf("blif: .names with no signals")
+			}
+			if len(net.Nodes) >= MaxNodes {
+				return nil, fmt.Errorf("%w: more than %d .names nodes", ErrTooLarge, MaxNodes)
 			}
 			cur = &Node{
 				Inputs: fields[1 : len(fields)-1],

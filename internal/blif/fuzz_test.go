@@ -1,0 +1,112 @@
+package blif
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzBLIFParse feeds arbitrary bytes to the BLIF reader. The hardened
+// contract: Read never panics — it returns an error (wrapping ErrTooLarge
+// for limit violations) or a well-formed network whose cover rows all match
+// their node arity. Networks whose names contain no BLIF metacharacters must
+// survive a write/read round trip with the same shape.
+func FuzzBLIFParse(f *testing.F) {
+	f.Add([]byte(".model top\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"))
+	f.Add([]byte(".inputs a\n.outputs y\n.names a y\n0 1\n"))
+	f.Add([]byte(".names y\n1\n.outputs y\n"))
+	f.Add([]byte(".inputs a \\\nb\n.outputs y\n.names a b y\n1- 1\n-1 1\n.end\n"))
+	f.Add([]byte(".latch a b\n"))
+	f.Add([]byte("# only a comment\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if net != nil {
+				t.Fatal("Read returned a network alongside an error")
+			}
+			return
+		}
+		for _, node := range net.Nodes {
+			for _, row := range node.Cover {
+				if len(row.Pattern) != len(node.Inputs) {
+					t.Fatalf("accepted cover row %q with arity %d for %d inputs",
+						row.Pattern, len(row.Pattern), len(node.Inputs))
+				}
+				if row.Value != '0' && row.Value != '1' {
+					t.Fatalf("accepted cover value %q", row.Value)
+				}
+			}
+		}
+		if !cleanNames(net) {
+			return // writer metacharacters in names: round trip is out of contract
+		}
+		var buf bytes.Buffer
+		if err := net.Write(&buf); err != nil {
+			t.Fatalf("accepted network does not serialize: %v", err)
+		}
+		net2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(net2.Inputs) != len(net.Inputs) || len(net2.Outputs) != len(net.Outputs) ||
+			len(net2.Nodes) != len(net.Nodes) {
+			t.Fatalf("round trip changed shape: %d/%d/%d -> %d/%d/%d",
+				len(net.Inputs), len(net.Outputs), len(net.Nodes),
+				len(net2.Inputs), len(net2.Outputs), len(net2.Nodes))
+		}
+	})
+}
+
+// cleanNames reports whether every signal name survives re-tokenization (no
+// comment or continuation metacharacters, no leading dot).
+func cleanNames(net *Network) bool {
+	ok := func(s string) bool {
+		return s != "" && !strings.ContainsAny(s, "#\\") && !strings.HasPrefix(s, ".")
+	}
+	if net.Name != "" && !ok(net.Name) {
+		return false
+	}
+	for _, s := range net.Inputs {
+		if !ok(s) {
+			return false
+		}
+	}
+	for _, s := range net.Outputs {
+		if !ok(s) {
+			return false
+		}
+	}
+	for _, n := range net.Nodes {
+		if !ok(n.Output) {
+			return false
+		}
+		for _, s := range n.Inputs {
+			if !ok(s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestReadRejectsOverlongLine pins the typed limit error for a line beyond
+// MaxLineLen, for both a physical line and a backslash-joined logical line.
+func TestReadRejectsOverlongLine(t *testing.T) {
+	physical := append([]byte(".inputs "), bytes.Repeat([]byte("a"), MaxLineLen+1)...)
+	if _, err := Read(bytes.NewReader(physical)); err == nil || !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("overlong physical line: error %v, want ErrTooLarge", err)
+	}
+
+	var joined bytes.Buffer
+	joined.WriteString(".inputs")
+	chunk := " " + strings.Repeat("b", 1<<16) + " \\"
+	for joined.Len() < MaxLineLen+(1<<17) {
+		joined.WriteString(chunk + "\n.inputs") // keep each physical line legal
+	}
+	_, err := Read(bytes.NewReader(joined.Bytes()))
+	if err == nil {
+		t.Fatal("overlong logical line accepted")
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -47,6 +48,18 @@ import (
 const (
 	checkpointMagic   = "ALSRACKP"
 	checkpointVersion = 1
+)
+
+// Restore failure classes. A structurally damaged checkpoint — torn write,
+// bit rot, truncation, a CRC or decode failure — wraps ErrCorrupt: the
+// caller may fall back to an older checkpoint generation, which was written
+// independently and can still be intact. A checkpoint whose header does not
+// match the supplied Options wraps ErrMismatch: every generation of the same
+// job shares its configuration, so falling back cannot help and the caller
+// should treat the checkpoint set as unusable for these Options.
+var (
+	ErrCorrupt  = errors.New("corrupt checkpoint")
+	ErrMismatch = errors.New("checkpoint does not match options")
 )
 
 // Snapshot serializes the complete inter-step state of the session to w as
@@ -111,18 +124,18 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
 	}
 	if len(raw) < len(checkpointMagic)+8 {
-		return nil, fmt.Errorf("core: checkpoint truncated (%d bytes)", len(raw))
+		return nil, fmt.Errorf("core: %w: truncated (%d bytes)", ErrCorrupt, len(raw))
 	}
 	payload, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(payload); got != want {
-		return nil, fmt.Errorf("core: checkpoint checksum mismatch (stored %08x, computed %08x)", got, want)
+		return nil, fmt.Errorf("core: %w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, got, want)
 	}
 	d := &ckptReader{buf: payload}
 	if magic := string(d.bytes(len(checkpointMagic))); magic != checkpointMagic {
-		return nil, fmt.Errorf("core: bad checkpoint magic %q", magic)
+		return nil, fmt.Errorf("core: %w: bad magic %q", ErrCorrupt, magic)
 	}
 	if v := d.u32(); v != checkpointVersion {
-		return nil, fmt.Errorf("core: unsupported checkpoint version %d (want %d)", v, checkpointVersion)
+		return nil, fmt.Errorf("core: %w: unsupported version %d (want %d)", ErrCorrupt, v, checkpointVersion)
 	}
 
 	seed := d.i64()
@@ -141,7 +154,7 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 
 	nHist := int(d.u32())
 	if d.err == nil && nHist > len(d.buf)-d.off {
-		return nil, fmt.Errorf("core: checkpoint history count %d exceeds payload", nHist)
+		return nil, fmt.Errorf("core: %w: history count %d exceeds payload", ErrCorrupt, nHist)
 	}
 	history := make([]IterRecord, 0, nHist)
 	for i := 0; i < nHist; i++ {
@@ -158,37 +171,37 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 
 	orig, err := d.graph()
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint reference graph: %w", err)
+		return nil, fmt.Errorf("core: %w: reference graph: %v", ErrCorrupt, err)
 	}
 	cur, err := d.graph()
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint working graph: %w", err)
+		return nil, fmt.Errorf("core: %w: working graph: %v", ErrCorrupt, err)
 	}
 	best := cur
 	if !d.bool() {
 		if best, err = d.graph(); err != nil {
-			return nil, fmt.Errorf("core: checkpoint best graph: %w", err)
+			return nil, fmt.Errorf("core: %w: best graph: %v", ErrCorrupt, err)
 		}
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("core: checkpoint decode: %w", d.err)
+		return nil, fmt.Errorf("core: %w: decode: %v", ErrCorrupt, d.err)
 	}
 
 	if opts.Seed != seed {
-		return nil, fmt.Errorf("core: checkpoint seed %d does not match Options.Seed %d", seed, opts.Seed)
+		return nil, fmt.Errorf("core: %w: checkpoint seed %d, Options.Seed %d", ErrMismatch, seed, opts.Seed)
 	}
 	if opts.Metric != metric {
-		return nil, fmt.Errorf("core: checkpoint metric %v does not match Options.Metric %v", metric, opts.Metric)
+		return nil, fmt.Errorf("core: %w: checkpoint metric %v, Options.Metric %v", ErrMismatch, metric, opts.Metric)
 	}
 	if opts.Threshold != threshold {
-		return nil, fmt.Errorf("core: checkpoint threshold %v does not match Options.Threshold %v", threshold, opts.Threshold)
+		return nil, fmt.Errorf("core: %w: checkpoint threshold %v, Options.Threshold %v", ErrMismatch, threshold, opts.Threshold)
 	}
 	wantEval := opts.EvalPatterns
 	if wantEval < 64 {
 		wantEval = 64
 	}
 	if wantEval != nEval {
-		return nil, fmt.Errorf("core: checkpoint evaluation budget %d does not match Options.EvalPatterns %d", nEval, wantEval)
+		return nil, fmt.Errorf("core: %w: checkpoint evaluation budget %d, Options.EvalPatterns %d", ErrMismatch, nEval, wantEval)
 	}
 
 	// Rebuild the derived machinery exactly as NewSession does, then

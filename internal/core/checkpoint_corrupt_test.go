@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/errest"
+)
+
+// midRunCheckpoint produces checkpoint bytes of a session interrupted after
+// a few iterations, plus the options needed to restore it.
+func midRunCheckpoint(t *testing.T) ([]byte, Options) {
+	t.Helper()
+	opts := sessionOpts(errest.ER)
+	s := NewSession(rippleAdder(8), opts)
+	for i := 0; i < 3 && !s.Done(); i++ {
+		if _, err := s.Step(context.Background()); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return buf.Bytes(), opts
+}
+
+// refreshCRC recomputes the trailing CRC32 so corruption introduced above it
+// survives the checksum gate and reaches the deeper validation layers.
+func refreshCRC(raw []byte) []byte {
+	out := append([]byte(nil), raw...)
+	crc := crc32.ChecksumIEEE(out[:len(out)-4])
+	binary.LittleEndian.PutUint32(out[len(out)-4:], crc)
+	return out
+}
+
+// TestRestoreCorruptionTable corrupts every checkpoint section — magic,
+// version, options fingerprint, history, AIGER graph payload, CRC trailer —
+// and requires Restore to report the right typed error class. Restore must
+// never panic and never return a session built from damaged bytes.
+func TestRestoreCorruptionTable(t *testing.T) {
+	raw, opts := midRunCheckpoint(t)
+
+	// Fixed section offsets from the format (DESIGN.md / checkpoint.go):
+	// magic [0:8), version [8:12), seed [12:20), metric [20:28),
+	// threshold [28:36), nEval [36:44), scalar block follows, then history,
+	// graphs, and the 4-byte CRC trailer.
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"flip magic, fix crc", func(b []byte) []byte {
+			b[0] ^= 0xFF
+			return refreshCRC(b)
+		}, ErrCorrupt},
+		{"future version, fix crc", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:12], 99)
+			return refreshCRC(b)
+		}, ErrCorrupt},
+		{"flip seed (options fingerprint), fix crc", func(b []byte) []byte {
+			b[12] ^= 0x01
+			return refreshCRC(b)
+		}, ErrMismatch},
+		{"flip metric, fix crc", func(b []byte) []byte {
+			b[20] ^= 0x01
+			return refreshCRC(b)
+		}, ErrMismatch},
+		{"flip threshold, fix crc", func(b []byte) []byte {
+			b[28] ^= 0x01
+			return refreshCRC(b)
+		}, ErrMismatch},
+		{"flip eval budget, fix crc", func(b []byte) []byte {
+			b[36] ^= 0x01
+			return refreshCRC(b)
+		}, ErrMismatch},
+		{"truncate mid-graph, fix crc", func(b []byte) []byte {
+			// Drop the last 40 bytes of payload: the final graph block's
+			// length prefix now points past the end.
+			return refreshCRC(b[:len(b)-40])
+		}, ErrCorrupt},
+		{"truncate to header only", func(b []byte) []byte {
+			return b[:20]
+		}, ErrCorrupt},
+		{"empty", func([]byte) []byte {
+			return nil
+		}, ErrCorrupt},
+		{"flip crc trailer", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xFF
+			return b
+		}, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(append([]byte(nil), raw...))
+			s, err := Restore(bytes.NewReader(bad), opts)
+			if err == nil {
+				t.Fatalf("corrupt checkpoint restored to a session (%v)", s)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error %v, want class %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRestoreByteFlipsNeverPanic flips every payload byte in turn (without
+// fixing the CRC) and requires a typed ErrCorrupt from each — the checksum
+// gate classifies arbitrary single-byte rot as corruption, and nothing in
+// the decode path may panic on any of these inputs.
+func TestRestoreByteFlipsNeverPanic(t *testing.T) {
+	raw, opts := midRunCheckpoint(t)
+	for off := 0; off < len(raw); off++ {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x20
+		_, err := Restore(bytes.NewReader(bad), opts)
+		if err == nil {
+			t.Fatalf("flip at offset %d not detected", off)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at offset %d: error %v does not wrap ErrCorrupt", off, err)
+		}
+	}
+}
+
+// TestRestoreTruncationsNeverPanic chops the checkpoint at every length with
+// the CRC refreshed where possible, driving the length-prefixed decoders
+// into their bounds checks rather than the checksum gate.
+func TestRestoreTruncationsNeverPanic(t *testing.T) {
+	raw, opts := midRunCheckpoint(t)
+	for n := 0; n < len(raw)-4; n += 7 {
+		bad := append([]byte(nil), raw[:n]...)
+		if n > 4 {
+			bad = refreshCRC(bad)
+		}
+		if _, err := Restore(bytes.NewReader(bad), opts); err == nil {
+			t.Fatalf("truncation to %d bytes restored successfully", n)
+		}
+	}
+}

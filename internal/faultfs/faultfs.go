@@ -1,0 +1,350 @@
+// Package faultfs abstracts the small filesystem surface the alsracd
+// persistence layer uses (create/open/rename/sync/remove/readdir) behind an
+// interface with two implementations: OS, a passthrough to the real
+// filesystem, and Injector, a deterministic fault injector that can fail the
+// Nth matching call with a chosen errno, truncate a write partway (a torn
+// write), panic mid-operation (a worker crash), or simulate a process death
+// after which nothing persists any more (a crash point).
+//
+// The injector exists so the service tests can torture the exact code paths
+// production runs: internal/service's store performs every disk operation
+// through an FS value, so a chaos test swaps in an Injector with a seeded
+// fault schedule and asserts that every injected fault ends in a correct
+// resume, a clean checkpoint fallback, or an explicit terminal job state —
+// never a hang, a lost job, or daemon death.
+//
+// Determinism discipline (enforced by alsraclint): the injector draws no
+// randomness and reads no clock. A fault schedule is an explicit list; each
+// fault keeps its own count of matching calls, so the same schedule against
+// the same operation sequence always fires at the same instant.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Op names one filesystem operation class for fault matching.
+type Op string
+
+const (
+	OpOpen       Op = "open"
+	OpCreateTemp Op = "createtemp"
+	OpWrite      Op = "write"
+	OpSync       Op = "sync"
+	OpClose      Op = "close"
+	OpRename     Op = "rename"
+	OpRemove     Op = "remove"
+	OpRemoveAll  Op = "removeall"
+	OpMkdirAll   Op = "mkdirall"
+	OpReadFile   Op = "readfile"
+	OpReadDir    Op = "readdir"
+	OpStat       Op = "stat"
+	OpSyncDir    Op = "syncdir"
+)
+
+// File is the writable/readable handle the store needs. *os.File satisfies
+// it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS is the filesystem surface of the persistence layer.
+type FS interface {
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	ReadDir(name string) ([]fs.DirEntry, error)
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, persisting renames and unlinks inside it.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough implementation over the real filesystem.
+type OS struct{}
+
+func (OS) Open(name string) (File, error)               { return os.Open(name) }
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (OS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (OS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+
+// SyncDir opens the directory and fsyncs it so a preceding rename is durable
+// before the caller proceeds.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Sentinel errors the injector produces.
+var (
+	// ErrInjected is the default error of a fault that names none.
+	ErrInjected = errors.New("faultfs: injected fault")
+	// ErrCrashed is returned by every operation after a crash point fired:
+	// the simulated process is dead, nothing persists any more.
+	ErrCrashed = errors.New("faultfs: simulated crash: persistence stopped")
+)
+
+// Fault is one entry of an injection schedule. It fires on the N-th call
+// (1-based) whose operation matches Op and whose path contains PathSubstr
+// (empty matches everything), then disarms — except Crash, which is sticky
+// by nature.
+type Fault struct {
+	Op         Op
+	PathSubstr string
+	N          int
+
+	// Err is returned by the faulted call; nil means ErrInjected.
+	Err error
+	// TornBytes, on an OpWrite fault, writes only that many bytes of the
+	// buffer to the underlying file before returning the error — a torn
+	// write: the partial data really lands on disk.
+	TornBytes int
+	// Crash flips the whole injector into the crashed state when the fault
+	// fires: this and every later operation fails with ErrCrashed, as if
+	// the process had died at this exact point. Data already durable stays;
+	// nothing further persists.
+	Crash bool
+	// Panic makes the faulted call panic instead of returning an error,
+	// simulating a worker goroutine blowing up mid-operation.
+	Panic bool
+
+	seen int // matching calls observed so far
+}
+
+// Injector wraps a base FS and applies a fault schedule. The zero value is
+// unusable; build with NewInjector.
+type Injector struct {
+	base FS
+
+	mu      sync.Mutex
+	faults  []*Fault
+	crashed bool
+	fired   []string // human-readable record of every fault that fired
+}
+
+// NewInjector builds an injector over base with the given schedule. The
+// schedule is copied; each fault's trigger count starts at zero.
+func NewInjector(base FS, schedule ...Fault) *Injector {
+	inj := &Injector{base: base}
+	for _, f := range schedule {
+		c := f
+		c.seen = 0
+		inj.faults = append(inj.faults, &c)
+	}
+	return inj
+}
+
+// Fired returns the record of faults that have fired, in firing order.
+func (i *Injector) Fired() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.fired...)
+}
+
+// Crashed reports whether a crash point has fired.
+func (i *Injector) Crashed() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.crashed
+}
+
+// check consults the schedule for one operation. It returns the matched
+// fault (nil when none fired) and the error the operation must return. For
+// OpWrite faults the error is nil and the caller performs the torn write
+// (persisting Fault.TornBytes bytes, zero by default) before failing.
+func (i *Injector) check(op Op, path string) (*Fault, error) {
+	i.mu.Lock()
+	var fired *Fault
+	if i.crashed {
+		i.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	for _, f := range i.faults {
+		if f.N <= 0 || f.Op != op {
+			continue
+		}
+		if f.PathSubstr != "" && !strings.Contains(path, f.PathSubstr) {
+			continue
+		}
+		f.seen++
+		if f.seen != f.N {
+			continue
+		}
+		f.N = -1 // disarm
+		i.fired = append(i.fired, fmt.Sprintf("%s %s", op, path))
+		if f.Crash {
+			i.crashed = true
+		}
+		fired = f
+		break
+	}
+	i.mu.Unlock()
+	if fired == nil {
+		return nil, nil
+	}
+	if fired.Panic {
+		panic(fmt.Sprintf("faultfs: injected panic on %s %s", op, path))
+	}
+	if op == OpWrite {
+		return fired, nil // torn write: caller persists the prefix, then errors
+	}
+	return fired, fired.errOrDefault()
+}
+
+// errOrDefault is the error a fired fault surfaces: its configured Err, or
+// ErrCrashed for crash points, or ErrInjected.
+func (f *Fault) errOrDefault() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.Crash {
+		return ErrCrashed
+	}
+	return ErrInjected
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	if _, err := i.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := i.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f}, nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := i.check(OpCreateTemp, dir+"/"+pattern); err != nil {
+		return nil, err
+	}
+	f, err := i.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	if _, err := i.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return i.base.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	if _, err := i.check(OpRemove, name); err != nil {
+		return err
+	}
+	return i.base.Remove(name)
+}
+
+func (i *Injector) RemoveAll(path string) error {
+	if _, err := i.check(OpRemoveAll, path); err != nil {
+		return err
+	}
+	return i.base.RemoveAll(path)
+}
+
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := i.check(OpMkdirAll, path); err != nil {
+		return err
+	}
+	return i.base.MkdirAll(path, perm)
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	if _, err := i.check(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	return i.base.ReadFile(name)
+}
+
+func (i *Injector) ReadDir(name string) ([]fs.DirEntry, error) {
+	if _, err := i.check(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return i.base.ReadDir(name)
+}
+
+func (i *Injector) Stat(name string) (fs.FileInfo, error) {
+	if _, err := i.check(OpStat, name); err != nil {
+		return nil, err
+	}
+	return i.base.Stat(name)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	if _, err := i.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return i.base.SyncDir(dir)
+}
+
+// injFile wraps a file handle so write/sync/close traffic flows through the
+// schedule too.
+type injFile struct {
+	inj *Injector
+	f   File
+}
+
+func (w *injFile) Name() string { return w.f.Name() }
+
+func (w *injFile) Read(p []byte) (int, error) { return w.f.Read(p) }
+
+func (w *injFile) Write(p []byte) (int, error) {
+	fault, err := w.inj.check(OpWrite, w.f.Name())
+	if err != nil {
+		return 0, err
+	}
+	if fault != nil {
+		// Torn write: persist a prefix of the buffer, then fail.
+		n := fault.TornBytes
+		if n > len(p) {
+			n = len(p)
+		}
+		wrote, _ := w.f.Write(p[:n])
+		return wrote, fault.errOrDefault()
+	}
+	return w.f.Write(p)
+}
+
+func (w *injFile) Sync() error {
+	if _, err := w.inj.check(OpSync, w.f.Name()); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *injFile) Close() error {
+	if _, err := w.inj.check(OpClose, w.f.Name()); err != nil {
+		w.f.Close() // release the descriptor regardless
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,203 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// writeVia writes data to path through fs with the store's temp+rename
+// discipline, mirroring what internal/service does.
+func writeVia(fsys FS, path string, data []byte) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		fsys.Remove(name)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(name)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(name)
+		return err
+	}
+	if err := fsys.Rename(name, path); err != nil {
+		fsys.Remove(name)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}
+
+// TestOSPassthrough: the OS implementation round-trips data and fsyncs
+// without error on a real directory.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if err := writeVia(OS{}, path, []byte("hello")); err != nil {
+		t.Fatalf("writeVia: %v", err)
+	}
+	got, err := OS{}.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile: %q, %v", got, err)
+	}
+	entries, err := OS{}.ReadDir(dir)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("ReadDir: %d entries, %v", len(entries), err)
+	}
+	if _, err := (OS{}).Stat(path); err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+}
+
+// TestInjectNthErrno: a fault fires on exactly the Nth matching call with
+// the configured errno, then disarms.
+func TestInjectNthErrno(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, Fault{Op: OpSync, N: 2, Err: syscall.ENOSPC})
+
+	if err := writeVia(inj, filepath.Join(dir, "a"), []byte("a")); err != nil {
+		t.Fatalf("first write (sync #1) should pass: %v", err)
+	}
+	err := writeVia(inj, filepath.Join(dir, "b"), []byte("b"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second write: %v, want ENOSPC", err)
+	}
+	if err := writeVia(inj, filepath.Join(dir, "c"), []byte("c")); err != nil {
+		t.Fatalf("third write after disarm: %v", err)
+	}
+	fired := inj.Fired()
+	if len(fired) != 1 || !strings.HasPrefix(fired[0], "sync ") {
+		t.Fatalf("fired log %v, want exactly one sync fault", fired)
+	}
+	// The failed write must have been rolled back by the caller.
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Fatalf("failed write left target visible: %v", err)
+	}
+}
+
+// TestTornWrite: an OpWrite fault persists exactly TornBytes bytes of the
+// buffer before failing — the partial prefix really lands in the file.
+func TestTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, Fault{Op: OpWrite, N: 1, TornBytes: 3, Err: syscall.EIO})
+	f, err := inj.CreateTemp(dir, "torn-*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("torn write error %v, want EIO", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write reported %d bytes, want 3", n)
+	}
+	name := f.Name()
+	f.Close()
+	got, err := os.ReadFile(name)
+	if err != nil || string(got) != "abc" {
+		t.Fatalf("on-disk prefix %q (%v), want \"abc\"", got, err)
+	}
+}
+
+// TestCrashPoint: after a crash fault fires, every subsequent operation
+// fails with ErrCrashed — nothing persists past the crash point.
+func TestCrashPoint(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, Fault{Op: OpRename, N: 1, PathSubstr: "victim", Crash: true})
+
+	err := writeVia(inj, filepath.Join(dir, "victim"), []byte("x"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash fault returned %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not in crashed state")
+	}
+	if err := writeVia(inj, filepath.Join(dir, "after"), []byte("y")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write returned %v, want ErrCrashed", err)
+	}
+	if _, err := inj.ReadFile(filepath.Join(dir, "victim")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read returned %v, want ErrCrashed", err)
+	}
+	// The target file never became visible: the rename was the crash point.
+	if _, err := os.Stat(filepath.Join(dir, "victim")); !os.IsNotExist(err) {
+		t.Fatalf("crashed rename left target visible: %v", err)
+	}
+}
+
+// TestPanicFault: a Panic fault panics inside the faulted call (the caller
+// is expected to isolate it with recover, as the service worker does).
+func TestPanicFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, Fault{Op: OpCreateTemp, N: 1, Panic: true})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected injected panic")
+		}
+		// The injector must remain usable after the panic is recovered.
+		if err := writeVia(inj, filepath.Join(dir, "ok"), []byte("ok")); err != nil {
+			t.Fatalf("injector unusable after recovered panic: %v", err)
+		}
+	}()
+	inj.CreateTemp(dir, ".tmp-*")
+}
+
+// TestPathSubstrFilterAndDefaultErr: faults only count calls whose path
+// matches, and a fault without Err yields ErrInjected.
+func TestPathSubstrFilterAndDefaultErr(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInjector(OS{}, Fault{Op: OpRename, N: 1, PathSubstr: "special"})
+	if err := writeVia(inj, filepath.Join(dir, "plain"), []byte("p")); err != nil {
+		t.Fatalf("non-matching rename failed: %v", err)
+	}
+	err := writeVia(inj, filepath.Join(dir, "special"), []byte("s"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching rename: %v, want ErrInjected", err)
+	}
+}
+
+// TestDeterministicSchedule: the same schedule over the same operation
+// sequence fires at the same call, run after run.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []string {
+		dir := t.TempDir()
+		inj := NewInjector(OS{},
+			Fault{Op: OpSync, N: 3, Err: syscall.EAGAIN},
+			Fault{Op: OpRename, N: 2, Err: syscall.EBUSY},
+		)
+		for i := 0; i < 5; i++ {
+			writeVia(inj, filepath.Join(dir, "f"), []byte{byte(i)})
+		}
+		fired := inj.Fired()
+		// Strip the tempdir prefix and the random temp-file suffix so runs
+		// compare equal: determinism is about *which call* fires, and
+		// os.CreateTemp names are intentionally random.
+		out := make([]string, len(fired))
+		for i, f := range fired {
+			f = strings.ReplaceAll(f, dir, "<dir>")
+			if j := strings.Index(f, ".tmp-"); j >= 0 {
+				f = f[:j] + ".tmp-X"
+			}
+			out[i] = f
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != 2 {
+		t.Fatalf("fired %v, want 2 faults", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule not deterministic: %v vs %v", a, b)
+		}
+	}
+}

@@ -51,8 +51,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError emits the structured error body {"error": ..., "code": ...}:
+// a human-readable message plus a stable machine-matchable code, so clients
+// can branch without parsing prose.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  code,
+	})
 }
 
 // specFromQuery builds a JobSpec from POST /jobs query parameters. Every
@@ -111,29 +117,44 @@ func specFromQuery(r *http.Request) (JobSpec, error) {
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	spec, err := specFromQuery(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxCircuitBytes+1))
+	// MaxBytesReader (not a bare LimitReader) also closes the connection on
+	// overrun, so an unbounded upload cannot keep streaming into a rejected
+	// request.
+	r.Body = http.MaxBytesReader(w, r.Body, maxCircuitBytes)
+	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				"circuit body exceeds %d bytes", maxCircuitBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_request", "reading body: %v", err)
 		return
 	}
 	if len(body) == 0 {
-		writeError(w, http.StatusBadRequest, "empty body: POST the circuit (BLIF or AIGER) as the request body")
-		return
-	}
-	if len(body) > maxCircuitBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "circuit exceeds %d bytes", maxCircuitBytes)
+		writeError(w, http.StatusBadRequest, "bad_request", "empty body: POST the circuit (BLIF or AIGER) as the request body")
 		return
 	}
 	st, err := m.Submit(spec, body)
 	if err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrQueueFull) {
-			code = http.StatusServiceUnavailable
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusServiceUnavailable, "queue_full", "%v", err)
+		case errors.Is(err, ErrUnparsable):
+			// 422: the request was well-formed HTTP, the entity is not a
+			// usable circuit — oversized per the parser limits or malformed.
+			code := "unparsable"
+			if errors.Is(err, aiger.ErrTooLarge) || errors.Is(err, blif.ErrTooLarge) {
+				code = "too_large"
+			}
+			writeError(w, http.StatusUnprocessableEntity, code, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		}
-		writeError(w, code, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, st)
@@ -151,7 +172,7 @@ func handleList(m *Manager, w http.ResponseWriter, _ *http.Request) {
 func handleStatus(m *Manager, w http.ResponseWriter, r *http.Request) {
 	job, ok := m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
 	withHistory := r.URL.Query().Get("history") != "0"
@@ -161,7 +182,7 @@ func handleStatus(m *Manager, w http.ResponseWriter, r *http.Request) {
 func handleCancel(m *Manager, w http.ResponseWriter, r *http.Request) {
 	st, err := m.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -173,7 +194,7 @@ func handleCancel(m *Manager, w http.ResponseWriter, r *http.Request) {
 func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	job, ok := m.Get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, "not_found", "no such job")
 		return
 	}
 	from := 0
@@ -225,11 +246,11 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrNotFound):
-			writeError(w, http.StatusNotFound, "no such job")
+			writeError(w, http.StatusNotFound, "not_found", "no such job")
 		case errors.Is(err, ErrNotDone):
-			writeError(w, http.StatusConflict, "job is not done")
+			writeError(w, http.StatusConflict, "not_done", "job is not done")
 		default:
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		}
 		return
 	}
@@ -251,7 +272,7 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		err = verilog.Write(w, g)
 	default:
-		writeError(w, http.StatusBadRequest, "unknown format %q (aag, aig, blif, v)", format)
+		writeError(w, http.StatusBadRequest, "bad_request", "unknown format %q (aag, aig, blif, v)", format)
 		return
 	}
 	if err != nil {

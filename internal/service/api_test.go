@@ -268,6 +268,74 @@ func TestAPIListHealthzMetrics(t *testing.T) {
 	}
 }
 
+// apiError decodes the structured error body every failure path emits.
+func apiError(t *testing.T, resp *http.Response) (msg, code string) {
+	t.Helper()
+	var body struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("error body is not structured JSON: %v", err)
+	}
+	if body.Error == "" || body.Code == "" {
+		t.Fatalf("error body missing fields: %+v", body)
+	}
+	return body.Error, body.Code
+}
+
+// TestAPIRobustnessOversizedAndUnparsable pins the hardened submission
+// paths: a body over the HTTP cap is cut off by MaxBytesReader with 413; a
+// well-sized body that is not a usable circuit — malformed, or demanding
+// more nodes than the parser limits allow — is 422 with a structured
+// {"error", "code"} body distinguishing the two.
+func TestAPIRobustnessOversizedAndUnparsable(t *testing.T) {
+	srv, _, stop := startAPI(t, Config{Dir: t.TempDir()})
+	defer stop()
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/octet-stream",
+		bytes.NewReader(make([]byte, maxCircuitBytes+1)))
+	if err != nil {
+		t.Fatalf("POST oversized: %v", err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		resp.Body.Close()
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if _, code := apiError(t, resp); code != "too_large" {
+		t.Fatalf("oversized body: code %q, want too_large", code)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(srv.URL+"/jobs", "application/octet-stream",
+		strings.NewReader("this is not a circuit"))
+	if err != nil {
+		t.Fatalf("POST garbage: %v", err)
+	}
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		resp.Body.Close()
+		t.Fatalf("garbage circuit: status %d, want 422", resp.StatusCode)
+	}
+	if _, code := apiError(t, resp); code != "unparsable" {
+		t.Fatalf("garbage circuit: code %q, want unparsable", code)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(srv.URL+"/jobs", "application/octet-stream",
+		strings.NewReader("aag 999999999 999999999 0 0 0\n"))
+	if err != nil {
+		t.Fatalf("POST over-limit header: %v", err)
+	}
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		resp.Body.Close()
+		t.Fatalf("over-limit circuit: status %d, want 422", resp.StatusCode)
+	}
+	if _, code := apiError(t, resp); code != "too_large" {
+		t.Fatalf("over-limit circuit: code %q, want too_large", code)
+	}
+	resp.Body.Close()
+}
+
 // TestAPIRejectsBadRequests pins the error paths: empty body, garbage
 // params, unknown ids.
 func TestAPIRejectsBadRequests(t *testing.T) {

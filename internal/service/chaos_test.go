@@ -1,0 +1,548 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// This file is the deterministic chaos matrix of the fault-injection issue:
+// every scenario runs the real manager over a real job directory with a
+// seeded faultfs schedule (or a hand-corrupted checkpoint) and asserts the
+// hardened invariant — an injected fault ends in a correct resume, a clean
+// generation fallback, or an explicit terminal state. Never a hang (every
+// wait has a deadline), never a lost job, never daemon death (startManager's
+// stop asserts the worker pool exits and leaks no goroutine).
+
+// noSleep keeps retry backoff out of test wall-clock time.
+func noSleep(time.Duration) {}
+
+func chaosConfig(dir string, fsys faultfs.FS) Config {
+	return Config{
+		Dir:             dir,
+		FS:              fsys,
+		Workers:         1,
+		CheckpointEvery: 1,
+		RetrySleep:      noSleep,
+	}
+}
+
+// eventMessages flattens a job's event log for content assertions.
+func eventMessages(t *testing.T, m *Manager, id string) []Event {
+	t.Helper()
+	job, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("job %s disappeared", id)
+	}
+	replay, _, unsub := job.Subscribe(0)
+	unsub()
+	return replay
+}
+
+func hasMessage(events []Event, substr string) bool {
+	for _, ev := range events {
+		if strings.Contains(ev.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// newestGeneration returns the path of the highest-numbered checkpoint file
+// in a job directory (the zero-padded names sort lexically).
+func newestGeneration(t *testing.T, dir, id string) string {
+	t.Helper()
+	gens, err := filepath.Glob(filepath.Join(dir, id, "checkpoint.*"))
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("no checkpoint generations in %s/%s (%v)", dir, id, err)
+	}
+	sort.Strings(gens)
+	return gens[len(gens)-1]
+}
+
+// corruptFile flips a run of bytes in the middle of a file in place.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if len(data) < 16 {
+		t.Fatalf("%s too short to corrupt meaningfully (%d bytes)", path, len(data))
+	}
+	for i := len(data) / 2; i < len(data)/2+8; i++ {
+		data[i] ^= 0xA5
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("writing %s: %v", path, err)
+	}
+}
+
+// assertNoTempResidue fails if any interrupted-write temp file is visible in
+// the job directory (the atomic-write discipline must clean up or the next
+// startup sweep must).
+func assertNoTempResidue(t *testing.T, dir, id string) {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, id))
+	if err != nil {
+		t.Fatalf("reading job dir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") || strings.HasPrefix(e.Name(), ".ckpt-") {
+			t.Fatalf("temp residue %s visible in job dir", e.Name())
+		}
+	}
+}
+
+// TestChaosInjectedFaultsStillConverge is the single-process half of the
+// matrix: each scenario arms one fault schedule and requires the job to end
+// in the expected terminal state with the bitwise-reference result where it
+// completes. The fault classes cover torn checkpoint writes (non-transient:
+// the checkpoint is sacrificed, the run continues), transient errnos on sync
+// and rename (retried to success, counted in store_retries), and a worker
+// panic (isolated to the job; the daemon takes the next submission).
+func TestChaosInjectedFaultsStillConverge(t *testing.T) {
+	circuit := testCircuit(t)
+	spec := testSpec()
+	want, wantAAG := referenceRun(t, spec, circuit)
+
+	scenarios := []struct {
+		name        string
+		schedule    []faultfs.Fault
+		wantState   State
+		wantRetries bool
+	}{
+		{
+			name: "torn checkpoint write is sacrificed",
+			schedule: []faultfs.Fault{
+				{Op: faultfs.OpWrite, PathSubstr: ".ckpt-", N: 2, TornBytes: 10},
+			},
+			wantState: StateDone,
+		},
+		{
+			name: "ENOSPC on checkpoint sync is retried",
+			schedule: []faultfs.Fault{
+				{Op: faultfs.OpSync, PathSubstr: ".ckpt-", N: 1, Err: syscall.ENOSPC},
+			},
+			wantState:   StateDone,
+			wantRetries: true,
+		},
+		{
+			name: "EBUSY on state rename is retried",
+			schedule: []faultfs.Fault{
+				{Op: faultfs.OpRename, PathSubstr: "state.json", N: 2, Err: syscall.EBUSY},
+			},
+			wantState:   StateDone,
+			wantRetries: true,
+		},
+		{
+			name: "EACCES on checkpoint temp fails that checkpoint only",
+			schedule: []faultfs.Fault{
+				{Op: faultfs.OpCreateTemp, PathSubstr: ".ckpt-", N: 1, Err: syscall.EACCES},
+			},
+			wantState: StateDone,
+		},
+		{
+			name: "panic while loading the circuit is isolated",
+			schedule: []faultfs.Fault{
+				{Op: faultfs.OpReadFile, PathSubstr: "circuit", N: 1, Panic: true},
+			},
+			wantState: StateFailed,
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			inj := faultfs.NewInjector(faultfs.OS{}, sc.schedule...)
+			m, stop := startManager(t, chaosConfig(dir, inj))
+			defer stop()
+
+			st, err := m.Submit(spec, circuit)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			final := waitTerminal(t, m, st.ID)
+			if final.State != sc.wantState {
+				t.Fatalf("job ended %s (error %q), want %s", final.State, final.Error, sc.wantState)
+			}
+			if len(inj.Fired()) == 0 {
+				t.Fatal("scenario fault never fired; schedule does not reach the intended path")
+			}
+			if sc.wantRetries && m.met.retries.Value() == 0 {
+				t.Fatal("transient fault did not bump store_retries")
+			}
+			switch sc.wantState {
+			case StateDone:
+				if final.FinalError != want.FinalError || final.Iterations != want.Iterations {
+					t.Fatalf("faulted run diverged: %d iterations / error %v, reference %d / %v",
+						final.Iterations, final.FinalError, want.Iterations, want.FinalError)
+				}
+				if !bytes.Equal(graphAAG(t, m, st.ID), wantAAG) {
+					t.Fatal("faulted run result differs bitwise from reference")
+				}
+			case StateFailed:
+				if !strings.Contains(final.Error, "worker panic") {
+					t.Fatalf("failed job error %q does not identify the recovered panic", final.Error)
+				}
+				events := eventMessages(t, m, st.ID)
+				captured := false
+				for _, ev := range events {
+					if strings.Contains(ev.Error, "goroutine") {
+						captured = true
+					}
+				}
+				if !captured {
+					t.Fatal("no event carries the captured panic stack")
+				}
+				if m.met.panics.Value() == 0 {
+					t.Fatal("worker panic not counted")
+				}
+				// The daemon survived: the next submission must complete.
+				st2, err := m.Submit(spec, circuit)
+				if err != nil {
+					t.Fatalf("Submit after panic: %v", err)
+				}
+				next := waitState(t, m, st2.ID, StateDone)
+				if !bytes.Equal(graphAAG(t, m, st2.ID), wantAAG) {
+					t.Fatal("post-panic job result differs from reference")
+				}
+				_ = next
+			}
+		})
+	}
+}
+
+// waitTerminal polls until the job reaches any terminal state.
+func waitTerminal(t *testing.T, m *Manager, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		job, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		st := job.Status(false)
+		if st.State.terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestChaosCrashPointThenResume kills persistence mid-checkpoint-rename (the
+// crash point makes every later filesystem operation fail, as a real process
+// death at that instant would) and then restarts over the same directory. The
+// resumed run must restore the last durable generation and finish bitwise
+// identical to the reference.
+func TestChaosCrashPointThenResume(t *testing.T) {
+	dir := t.TempDir()
+	circuit := testCircuit(t)
+	spec := testSpec()
+	want, wantAAG := referenceRun(t, spec, circuit)
+
+	inj := faultfs.NewInjector(faultfs.OS{},
+		faultfs.Fault{Op: faultfs.OpRename, PathSubstr: "checkpoint.", N: 2, Crash: true},
+	)
+	m1, stop1 := startManager(t, chaosConfig(dir, inj))
+	st, err := m1.Submit(spec, circuit)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !inj.Crashed() {
+		if time.Now().After(deadline) {
+			t.Fatal("crash point never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop1() // the dead process's goroutines must still wind down cleanly
+
+	// Durable state: generation 1 on disk, state.json from before the crash,
+	// a stranded .ckpt- temp (its cleanup failed too — the process was dead).
+	if _, err := os.Stat(filepath.Join(dir, st.ID, "checkpoint.000001")); err != nil {
+		t.Fatalf("first generation not durable across crash: %v", err)
+	}
+
+	m2, stop2 := startManager(t, chaosConfig(dir, faultfs.OS{}))
+	defer stop2()
+	assertNoTempResidue(t, dir, st.ID) // startup sweep collected the stranded temp
+	final := waitState(t, m2, st.ID, StateDone)
+	if final.FinalError != want.FinalError || final.Iterations != want.Iterations {
+		t.Fatalf("post-crash run diverged: %d iterations / error %v, reference %d / %v",
+			final.Iterations, final.FinalError, want.Iterations, want.FinalError)
+	}
+	if !bytes.Equal(graphAAG(t, m2, st.ID), wantAAG) {
+		t.Fatal("post-crash result differs bitwise from reference")
+	}
+	if m2.met.resumes.Value() == 0 {
+		t.Fatal("post-crash run restarted from scratch: expected a checkpoint restore")
+	}
+}
+
+// TestChaosCorruptGenerationFallsBack interrupts a run with several
+// checkpoint generations on disk, corrupts the newest one, and restarts: the
+// manager must fall back to the next generation (counting it and noting it in
+// the event log) and still produce the bitwise-reference result. A second
+// phase corrupts every generation: the job then restarts from the original
+// circuit — same guarantee, one more fallback.
+func TestChaosCorruptGenerationFallsBack(t *testing.T) {
+	for _, corruptAll := range []bool{false, true} {
+		name := "newest generation"
+		if corruptAll {
+			name = "all generations"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			circuit := testCircuit(t)
+			spec := testSpec()
+			want, wantAAG := referenceRun(t, spec, circuit)
+
+			m1, stop1 := startManager(t, chaosConfig(dir, faultfs.OS{}))
+			st, err := m1.Submit(spec, circuit)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for {
+				job, _ := m1.Get(st.ID)
+				s := job.Status(false)
+				if s.Iterations >= 3 || s.State.terminal() {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("job never accumulated iterations")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			stop1()
+			job, _ := m1.Get(st.ID)
+			if job.State().terminal() {
+				t.Skip("job outran the interrupt on this machine; nothing to corrupt")
+			}
+
+			if corruptAll {
+				gens, _ := filepath.Glob(filepath.Join(dir, st.ID, "checkpoint.*"))
+				if len(gens) == 0 {
+					t.Fatal("no generations to corrupt")
+				}
+				for _, g := range gens {
+					corruptFile(t, g)
+				}
+			} else {
+				corruptFile(t, newestGeneration(t, dir, st.ID))
+			}
+
+			m2, stop2 := startManager(t, chaosConfig(dir, faultfs.OS{}))
+			defer stop2()
+			final := waitState(t, m2, st.ID, StateDone)
+			if final.FinalError != want.FinalError || final.Iterations != want.Iterations {
+				t.Fatalf("fallback run diverged: %d iterations / error %v, reference %d / %v",
+					final.Iterations, final.FinalError, want.Iterations, want.FinalError)
+			}
+			if !bytes.Equal(graphAAG(t, m2, st.ID), wantAAG) {
+				t.Fatal("fallback result differs bitwise from reference")
+			}
+			if m2.met.fallbacks.Value() == 0 {
+				t.Fatal("corrupt generation did not bump checkpoint_fallback")
+			}
+			if !hasMessage(eventMessages(t, m2, st.ID), "checkpoint_fallback") {
+				t.Fatal("no checkpoint_fallback note in the job's event log")
+			}
+			if !corruptAll && m2.met.resumes.Value() == 0 {
+				t.Fatal("expected the older generation to restore")
+			}
+		})
+	}
+}
+
+// seedJobDir fabricates an interrupted job on disk — spec, circuit, and a
+// non-terminal state.json with the given recovery-attempt count — exactly
+// what a crash-looping daemon leaves behind.
+func seedJobDir(t *testing.T, dir, id string, spec JobSpec, circuit []byte, attempts int) {
+	t.Helper()
+	if err := spec.Normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	jd := filepath.Join(dir, id)
+	if err := os.MkdirAll(jd, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"spec.json": specJSON,
+		"circuit":   circuit,
+	} {
+		if err := os.WriteFile(filepath.Join(jd, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stateJSON, err := json.Marshal(persistedState{State: StateRunning, Attempts: attempts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jd, "state.json"), stateJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChaosCrashLoopQuarantine walks a poison job through the recovery
+// attempt budget: each manager construction over the directory counts one
+// attempt, and the construction after the budget is exhausted parks the job
+// in the terminal quarantined state — counted in jobs_quarantined, noted in
+// the event log, directory preserved — instead of re-enqueueing it again.
+func TestChaosCrashLoopQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	circuit := testCircuit(t)
+	spec := testSpec()
+	const id = "j000001"
+	seedJobDir(t, dir, id, spec, circuit, 0)
+
+	readAttempts := func() int {
+		data, err := os.ReadFile(filepath.Join(dir, id, "state.json"))
+		if err != nil {
+			t.Fatalf("reading state.json: %v", err)
+		}
+		var ps persistedState
+		if err := json.Unmarshal(data, &ps); err != nil {
+			t.Fatalf("decoding state.json: %v", err)
+		}
+		return ps.Attempts
+	}
+
+	// Three incarnations that die before the job checkpoints (the manager is
+	// constructed — which counts the attempt — but never Run).
+	for i := 1; i <= 3; i++ {
+		m, err := New(chaosConfig(dir, faultfs.OS{}))
+		if err != nil {
+			t.Fatalf("incarnation %d: %v", i, err)
+		}
+		if got := readAttempts(); got != i {
+			t.Fatalf("after incarnation %d: persisted attempts %d, want %d", i, got, i)
+		}
+		job, ok := m.Get(id)
+		if !ok || job.State() != StateQueued {
+			t.Fatalf("incarnation %d: job not re-enqueued", i)
+		}
+	}
+
+	// The fourth incarnation sees the exhausted budget and quarantines.
+	m, err := New(chaosConfig(dir, faultfs.OS{}))
+	if err != nil {
+		t.Fatalf("quarantining incarnation: %v", err)
+	}
+	job, ok := m.Get(id)
+	if !ok {
+		t.Fatal("quarantined job lost from the table")
+	}
+	if job.State() != StateQuarantined {
+		t.Fatalf("job state %s, want quarantined", job.State())
+	}
+	if m.met.quarantined.Value() != 1 {
+		t.Fatalf("jobs_quarantined counter %d, want 1", m.met.quarantined.Value())
+	}
+	if !hasMessage(eventMessages(t, m, id), "quarantined") {
+		t.Fatal("no quarantine note in the event log")
+	}
+	for _, f := range []string{"spec.json", "circuit", "state.json"} {
+		if _, err := os.Stat(filepath.Join(dir, id, f)); err != nil {
+			t.Fatalf("quarantine did not preserve %s: %v", f, err)
+		}
+	}
+
+	// Quarantine is terminal and idempotent across restarts: the worker pool
+	// of a further incarnation must idle (and exit cleanly), never touching
+	// the job, and the counter counts the transition only once.
+	m2, stop2 := startManager(t, chaosConfig(dir, faultfs.OS{}))
+	time.Sleep(10 * time.Millisecond)
+	if job2, _ := m2.Get(id); job2.State() != StateQuarantined {
+		t.Fatalf("restart changed quarantined job to %s", job2.State())
+	}
+	if m2.met.quarantined.Value() != 0 {
+		t.Fatal("already-quarantined job was re-counted as a new quarantine")
+	}
+	stop2()
+}
+
+// TestChaosCheckpointResetsAttempts proves the other edge of the quarantine
+// policy: a recovered job that reaches one successful checkpoint has its
+// attempt budget reset, so steady progress can survive any number of
+// restarts without ever being quarantined.
+func TestChaosCheckpointResetsAttempts(t *testing.T) {
+	dir := t.TempDir()
+	circuit := testCircuit(t)
+	spec := testSpec()
+	want, _ := referenceRun(t, spec, circuit)
+	seedJobDir(t, dir, "j000001", spec, circuit, 2) // one attempt left
+
+	m, stop := startManager(t, chaosConfig(dir, faultfs.OS{}))
+	defer stop()
+	final := waitState(t, m, "j000001", StateDone)
+	if final.FinalError != want.FinalError {
+		t.Fatalf("recovered run final error %v, reference %v", final.FinalError, want.FinalError)
+	}
+	if final.Attempts != 0 {
+		t.Fatalf("attempts %d after successful run, want 0 (reset at first checkpoint)", final.Attempts)
+	}
+}
+
+// TestChaosScheduleMatrixIsDeterministic re-runs one faulted scenario twice
+// and requires the injector's firing record and the job outcome to be
+// identical — the property that makes every failure in this file
+// reproducible from its seed schedule.
+func TestChaosScheduleMatrixIsDeterministic(t *testing.T) {
+	circuit := testCircuit(t)
+	spec := testSpec()
+
+	run := func() (fired []string, final JobStatus) {
+		dir := t.TempDir()
+		inj := faultfs.NewInjector(faultfs.OS{},
+			faultfs.Fault{Op: faultfs.OpSync, PathSubstr: ".ckpt-", N: 1, Err: syscall.ENOSPC},
+			faultfs.Fault{Op: faultfs.OpRename, PathSubstr: "state.json", N: 2, Err: syscall.EBUSY},
+		)
+		m, stop := startManager(t, chaosConfig(dir, inj))
+		defer stop()
+		st, err := m.Submit(spec, circuit)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		final = waitTerminal(t, m, st.ID)
+		for _, f := range inj.Fired() {
+			// Normalize the random temp suffix and the per-run directory so
+			// the records compare by (operation, logical file).
+			f = strings.ReplaceAll(f, dir, "<dir>")
+			if i := strings.Index(f, ".tmp-"); i >= 0 {
+				f = f[:i] + ".tmp-X"
+			}
+			if i := strings.Index(f, ".ckpt-"); i >= 0 {
+				f = f[:i] + ".ckpt-X"
+			}
+			fired = append(fired, f)
+		}
+		return fired, final
+	}
+
+	fired1, final1 := run()
+	fired2, final2 := run()
+	if fmt.Sprint(fired1) != fmt.Sprint(fired2) {
+		t.Fatalf("fault firing records differ between identical runs:\n%v\n%v", fired1, fired2)
+	}
+	if final1.State != final2.State || final1.FinalError != final2.FinalError {
+		t.Fatalf("outcomes differ between identical runs: %+v vs %+v", final1, final2)
+	}
+}

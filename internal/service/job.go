@@ -20,24 +20,34 @@ const (
 	// StateDone: the flow terminated (or hit its deadline with a usable
 	// best-so-far result); the result circuit is available.
 	StateDone State = "done"
-	// StateFailed: the job cannot make progress (bad circuit, I/O error).
+	// StateFailed: the job cannot make progress (bad circuit, I/O error,
+	// worker panic — the Error field says which).
 	StateFailed State = "failed"
 	// StateCancelled: terminated by DELETE /jobs/{id}.
 	StateCancelled State = "cancelled"
+	// StateQuarantined: the job crash-looped through MaxResumeAttempts
+	// recovery attempts without ever reaching a checkpoint, so the startup
+	// rescan refuses to re-enqueue it again. Terminal; the job directory is
+	// preserved on disk for inspection.
+	StateQuarantined State = "quarantined"
 )
 
 // terminal reports whether no further transitions can happen.
 func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCancelled
+	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
 }
 
-// Event is one NDJSON progress record: either a state transition or one
-// session step.
+// Event is one NDJSON progress record: a state transition, one session step,
+// or an operational note (checkpoint fallback, quarantine, captured panic).
 type Event struct {
 	Job   string      `json:"job"`
 	Seq   int         `json:"seq"`
 	State State       `json:"state,omitempty"`
 	Step  *core.Event `json:"step,omitempty"`
+	// Message carries operational notes such as "checkpoint_fallback ...".
+	Message string `json:"message,omitempty"`
+	// Error carries failure detail — for a worker panic, the captured stack.
+	Error string `json:"error,omitempty"`
 }
 
 // JobStatus is the externally visible snapshot of a job.
@@ -48,6 +58,7 @@ type JobStatus struct {
 	Error        string            `json:"error,omitempty"`
 	TimedOut     bool              `json:"timed_out,omitempty"`
 	Reason       string            `json:"reason,omitempty"`
+	Attempts     int               `json:"attempts,omitempty"`
 	Iterations   int               `json:"iterations"`
 	Applied      int               `json:"applied"`
 	Ands         int               `json:"ands"`
@@ -73,14 +84,15 @@ type Job struct {
 	errMsg   string
 	timedOut bool
 	reason   string
+	attempts int // resume attempts without a successful checkpoint
 
-	iterations   int
-	applied      int
-	ands         int
-	curErr       float64
-	finalErr     float64
-	history      []core.IterRecord
-	resultGraph  *aig.Graph // in-memory result when completed in this process
+	iterations    int
+	applied       int
+	ands          int
+	curErr        float64
+	finalErr      float64
+	history       []core.IterRecord
+	resultGraph   *aig.Graph // in-memory result when completed in this process
 	hasResult     bool
 	hasCheckpoint bool // a checkpoint file exists on disk (resume candidate)
 
@@ -103,6 +115,7 @@ func (j *Job) Status(withHistory bool) JobStatus {
 		Error:        j.errMsg,
 		TimedOut:     j.timedOut,
 		Reason:       j.reason,
+		Attempts:     j.attempts,
 		Iterations:   j.iterations,
 		Applied:      j.applied,
 		Ands:         j.ands,
@@ -143,6 +156,14 @@ func (j *Job) publishLocked(ev Event) {
 		}
 		j.subs = nil
 	}
+}
+
+// note publishes an operational event (checkpoint fallback, quarantine
+// reason, retry exhaustion) to the job's event log.
+func (j *Job) note(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.publishLocked(Event{Message: msg})
 }
 
 // recordStep mirrors one session step into the job's public fields and

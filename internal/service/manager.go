@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
+	"path/filepath"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/aig"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/obs"
 )
 
@@ -18,6 +20,9 @@ var (
 	ErrQueueFull = errors.New("service: submission queue is full")
 	ErrNotFound  = errors.New("service: no such job")
 	ErrNotDone   = errors.New("service: job has no result yet")
+	// ErrUnparsable wraps circuit parse failures so the HTTP layer can map
+	// them to 422 Unprocessable Entity rather than a generic 400.
+	ErrUnparsable = errors.New("service: circuit cannot be parsed")
 )
 
 // Config configures a Manager.
@@ -38,6 +43,16 @@ type Config struct {
 	// DefaultTimeoutSec applies to jobs whose spec carries no timeout.
 	// 0 means no default deadline.
 	DefaultTimeoutSec float64
+	// MaxResumeAttempts is how many recovery attempts a job gets without
+	// ever reaching a successful checkpoint before the startup rescan
+	// quarantines it as a poison job. Default 3.
+	MaxResumeAttempts int
+	// FS is the filesystem the job store runs on. Default faultfs.OS{};
+	// chaos tests inject a faultfs.Injector here.
+	FS faultfs.FS
+	// RetrySleep sleeps between retries of transient store errors. Default
+	// time.Sleep; tests inject a no-op to keep the suite fast.
+	RetrySleep func(time.Duration)
 	// Now supplies wall-clock time for latency metrics. The clock is
 	// injected — this package may not read time.Now itself (alsraclint
 	// determinism rule) — and may be nil, which disables step-latency
@@ -56,6 +71,10 @@ type managerMetrics struct {
 	lacsApplied *obs.Counter
 	checkpoints *obs.Counter
 	resumes     *obs.Counter
+	fallbacks   *obs.Counter
+	retries     *obs.Counter
+	quarantined *obs.Counter
+	panics      *obs.Counter
 	stepSeconds *obs.Histogram
 }
 
@@ -79,7 +98,10 @@ type Manager struct {
 // New builds a Manager over cfg.Dir, recovering every persisted job: jobs
 // in a terminal state are loaded for status/result serving, interrupted ones
 // (queued or running at the time of death) are re-enqueued and will resume
-// from their latest checkpoint.
+// from their latest restorable checkpoint generation. A job that has already
+// burned through MaxResumeAttempts recovery attempts without reaching a
+// checkpoint is quarantined instead of re-enqueued — a poison circuit must
+// not crash-loop the daemon forever — with its directory preserved on disk.
 func New(cfg Config) (*Manager, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("service: Config.Dir is required")
@@ -93,9 +115,14 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 8
 	}
-	st, err := newStore(cfg.Dir)
-	if err != nil {
-		return nil, err
+	if cfg.MaxResumeAttempts <= 0 {
+		cfg.MaxResumeAttempts = 3
+	}
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS{}
+	}
+	if cfg.RetrySleep == nil {
+		cfg.RetrySleep = time.Sleep
 	}
 	reg := obs.NewRegistry()
 	met := managerMetrics{
@@ -106,10 +133,20 @@ func New(cfg Config) (*Manager, error) {
 		lacsApplied: reg.Counter("alsrac_lacs_applied_total", "local approximate changes committed"),
 		checkpoints: reg.Counter("alsrac_checkpoints_total", "session checkpoints written"),
 		resumes:     reg.Counter("alsrac_resumes_total", "sessions restored from a checkpoint"),
+		fallbacks:   reg.Counter("alsrac_checkpoint_fallback_total", "restores that skipped unusable checkpoint generations"),
+		retries:     reg.Counter("alsrac_store_retries_total", "store operations retried on transient errors"),
+		quarantined: reg.Counter("alsrac_jobs_quarantined_total", "poison jobs quarantined after repeated crash-loop recoveries"),
+		panics:      reg.Counter("alsrac_worker_panics_total", "worker panics recovered and converted to job failures"),
 		stepSeconds: reg.Histogram("alsrac_step_seconds", "session step latency in seconds", obs.LatencyBuckets()),
 	}
-	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined} {
 		met.jobsByState[s] = reg.Gauge("alsrac_jobs", "jobs by lifecycle state", "state", string(s))
+	}
+
+	retry := &retrier{sleep: cfg.RetrySleep, onRetry: func() { met.retries.Inc() }}
+	st, err := newStore(cfg.Dir, cfg.FS, retry)
+	if err != nil {
+		return nil, err
 	}
 
 	stored, err := st.loadAll()
@@ -135,11 +172,31 @@ func New(cfg Config) (*Manager, error) {
 			timedOut:      sj.state.TimedOut,
 			reason:        sj.state.Reason,
 			finalErr:      sj.state.FinalErr,
+			attempts:      sj.state.Attempts,
 			hasCheckpoint: sj.hasCheckpoint,
 		}
 		if !job.state.terminal() {
-			job.state = StateQueued
-			pending = append(pending, job)
+			if job.attempts >= cfg.MaxResumeAttempts {
+				// Poison job: every previous recovery died before reaching a
+				// checkpoint. Park it terminally instead of crash-looping.
+				job.mu.Lock()
+				job.state = StateQuarantined
+				job.publishLocked(Event{State: StateQuarantined})
+				job.publishLocked(Event{Message: fmt.Sprintf(
+					"quarantined after %d failed recovery attempts; job directory preserved", job.attempts)})
+				job.mu.Unlock()
+				_ = m.st.saveState(job.ID, persistedState{State: StateQuarantined, Attempts: job.attempts})
+				m.met.quarantined.Inc()
+				m.logf("job %s: quarantined after %d failed recovery attempts", job.ID, job.attempts)
+			} else {
+				// Count this recovery attempt before the job runs: if the
+				// daemon dies again before the job's first successful
+				// checkpoint, the next rescan sees the increment.
+				job.attempts++
+				job.state = StateQueued
+				_ = m.st.saveState(job.ID, persistedState{State: StateQueued, Attempts: job.attempts})
+				pending = append(pending, job)
+			}
 		}
 		m.jobs[job.ID] = job
 		m.order = append(m.order, job)
@@ -154,9 +211,9 @@ func New(cfg Config) (*Manager, error) {
 	for _, job := range pending {
 		m.queue <- job
 		if job.hasCheckpoint {
-			m.logf("job %s: re-enqueued, will resume from checkpoint", job.ID)
+			m.logf("job %s: re-enqueued (attempt %d), will resume from checkpoint", job.ID, job.attempts)
 		} else {
-			m.logf("job %s: re-enqueued from scratch", job.ID)
+			m.logf("job %s: re-enqueued from scratch (attempt %d)", job.ID, job.attempts)
 		}
 	}
 	m.met.queueDepth.Set(int64(len(pending)))
@@ -194,9 +251,29 @@ func (m *Manager) workerLoop(ctx context.Context) {
 			return
 		case job := <-m.queue:
 			m.met.queueDepth.Dec()
-			m.runJob(ctx, job)
+			m.runJobGuarded(ctx, job)
 		}
 	}
+}
+
+// runJobGuarded isolates one job's execution: a panic anywhere in the job's
+// session is recovered, its stack captured into the job's event log, and the
+// job failed — the worker goroutine, its siblings and the daemon live on.
+func (m *Manager) runJobGuarded(ctx context.Context, job *Job) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.met.panics.Inc()
+			msg := fmt.Sprintf("worker panic: %v", r)
+			job.mu.Lock()
+			job.errMsg = msg
+			job.publishLocked(Event{Message: msg, Error: string(debug.Stack())})
+			job.mu.Unlock()
+			_ = m.st.saveState(job.ID, persistedState{State: StateFailed, Error: msg})
+			m.transition(job, StateFailed)
+			m.logf("job %s: %s", job.ID, msg)
+		}
+	}()
+	m.runJob(ctx, job)
 }
 
 // transition moves the job to state s (terminal states stick) and keeps the
@@ -229,7 +306,7 @@ func (m *Manager) Submit(spec JobSpec, circuit []byte) (JobStatus, error) {
 	}
 	g, err := ParseCircuit(spec.Format, circuit)
 	if err != nil {
-		return JobStatus{}, fmt.Errorf("parsing circuit: %w", err)
+		return JobStatus{}, fmt.Errorf("%w: %w", ErrUnparsable, err)
 	}
 
 	m.mu.Lock()
@@ -238,6 +315,7 @@ func (m *Manager) Submit(spec JobSpec, circuit []byte) (JobStatus, error) {
 	m.mu.Unlock()
 
 	if err := m.st.createJob(id, spec, circuit); err != nil {
+		_ = m.cfg.FS.RemoveAll(m.st.jobDir(id))
 		return JobStatus{}, err
 	}
 	job := &Job{ID: id, Spec: spec, state: StateQueued, ands: g.NumAnds()}
@@ -261,7 +339,7 @@ func (m *Manager) Submit(spec JobSpec, circuit []byte) (JobStatus, error) {
 			}
 		}
 		m.mu.Unlock()
-		os.RemoveAll(m.st.jobDir(id))
+		_ = m.cfg.FS.RemoveAll(m.st.jobDir(id))
 		return JobStatus{}, ErrQueueFull
 	}
 	m.met.submitted.Inc()
@@ -361,11 +439,12 @@ func (m *Manager) runJob(parent context.Context, job *Job) {
 		jobCtx, cancel = context.WithCancel(parent)
 	}
 	job.cancel = cancel
+	attempts := job.attempts
 	job.mu.Unlock()
 	defer cancel()
 
 	m.transition(job, StateRunning)
-	_ = m.st.saveState(job.ID, persistedState{State: StateRunning})
+	_ = m.st.saveState(job.ID, persistedState{State: StateRunning, Attempts: attempts})
 
 	sess, err := m.buildSession(job)
 	if err != nil {
@@ -411,30 +490,46 @@ func (m *Manager) runJob(parent context.Context, job *Job) {
 	}
 }
 
-// buildSession restores the job's session from its checkpoint when one
-// exists, falling back to a fresh session from the original circuit (a
-// corrupt checkpoint is logged and discarded, never fatal: determinism
-// guarantees the rerun converges to the same result).
+// buildSession restores the job's session from its newest checkpoint
+// generation when one exists. A corrupt generation (torn write, bit rot) is
+// skipped in favour of the next-newest — the fallback is counted and noted in
+// the job's event log — and when no generation is restorable the session is
+// rebuilt from the original circuit (determinism guarantees the rerun
+// converges to the same result). An options mismatch stops the scan early:
+// every generation of a job shares its configuration, so older ones cannot
+// match either.
 func (m *Manager) buildSession(job *Job) (*core.Session, error) {
 	opts, err := job.Spec.Options()
 	if err != nil {
 		return nil, err
 	}
-	job.mu.Lock()
-	tryCkpt := job.hasCheckpoint
-	job.mu.Unlock()
-	if tryCkpt {
-		f, err := os.Open(m.st.checkpointPath(job.ID))
-		if err == nil {
-			sess, rerr := core.Restore(f, opts)
-			f.Close()
-			if rerr == nil {
-				m.met.resumes.Inc()
-				m.logf("job %s: resumed from checkpoint at iteration %d", job.ID, sess.Iterations())
-				return sess, nil
-			}
-			m.logf("job %s: discarding unusable checkpoint: %v", job.ID, rerr)
+	gens := m.st.checkpointGens(job.ID)
+	for i, path := range gens {
+		f, err := m.st.fs.Open(path)
+		if err != nil {
+			m.logf("job %s: cannot open checkpoint %s: %v", job.ID, filepath.Base(path), err)
+			continue
 		}
+		sess, rerr := core.Restore(f, opts)
+		f.Close()
+		if rerr == nil {
+			if i > 0 {
+				m.met.fallbacks.Inc()
+				job.note(fmt.Sprintf("checkpoint_fallback: restored %s after skipping %d unusable newer generation(s)",
+					filepath.Base(path), i))
+			}
+			m.met.resumes.Inc()
+			m.logf("job %s: resumed from %s at iteration %d", job.ID, filepath.Base(path), sess.Iterations())
+			return sess, nil
+		}
+		m.logf("job %s: checkpoint %s unusable: %v", job.ID, filepath.Base(path), rerr)
+		if errors.Is(rerr, core.ErrMismatch) {
+			break
+		}
+	}
+	if len(gens) > 0 {
+		m.met.fallbacks.Inc()
+		job.note(fmt.Sprintf("checkpoint_fallback: all %d generation(s) unusable, restarting from original circuit", len(gens)))
 	}
 	circuit, err := m.st.loadCircuit(job.ID)
 	if err != nil {
@@ -447,15 +542,22 @@ func (m *Manager) buildSession(job *Job) (*core.Session, error) {
 	return core.NewSession(g, opts), nil
 }
 
-// checkpoint persists the session state atomically.
+// checkpoint persists the session state atomically as a new generation. The
+// first successful checkpoint of a recovered job proves it can make durable
+// progress, so the poison-job attempt counter resets.
 func (m *Manager) checkpoint(job *Job, sess *core.Session) error {
-	err := m.st.saveCheckpoint(job.ID, func(w *os.File) error { return sess.Snapshot(w) })
+	err := m.st.saveCheckpoint(job.ID, sess.Snapshot)
 	if err != nil {
 		return err
 	}
 	job.mu.Lock()
 	job.hasCheckpoint = true
+	resetAttempts := job.attempts != 0
+	job.attempts = 0
 	job.mu.Unlock()
+	if resetAttempts {
+		_ = m.st.saveState(job.ID, persistedState{State: StateRunning})
+	}
 	m.met.checkpoints.Inc()
 	return nil
 }

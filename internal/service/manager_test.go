@@ -223,8 +223,9 @@ func TestKillAndResume(t *testing.T) {
 	}
 	resumed := !istat.State.terminal()
 	if resumed {
-		if _, err := os.Stat(filepath.Join(dir, st.ID, "checkpoint")); err != nil {
-			t.Fatalf("no checkpoint after shutdown: %v", err)
+		gens, err := filepath.Glob(filepath.Join(dir, st.ID, "checkpoint.*"))
+		if err != nil || len(gens) == 0 {
+			t.Fatalf("no checkpoint generation after shutdown (%v, %v)", gens, err)
 		}
 	} else {
 		// The job beat the shutdown; the restart phase below still must

@@ -16,10 +16,15 @@ import (
 
 var identRe = regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_$]*$`)
 
+// maxIdentLen bounds an emitted identifier: IEEE 1364 only guarantees 1024
+// significant characters, and a hostile symbol table must not balloon the
+// netlist. Longer names fall back to the positional name.
+const maxIdentLen = 1024
+
 // sanitize makes a name a legal Verilog identifier (escaping via
 // substitution, with a fallback positional name).
 func sanitize(name, fallback string) string {
-	if name == "" {
+	if name == "" || len(name) > maxIdentLen {
 		return fallback
 	}
 	r := strings.NewReplacer("[", "_", "]", "", ".", "_", "-", "_", ":", "_")

@@ -68,6 +68,14 @@ printf '%s\n' "$metrics" | grep -q '^alsrac_jobs_submitted_total 1$' || {
     echo "unexpected submitted counter:"; printf '%s\n' "$metrics" | grep alsrac_jobs; exit 1; }
 printf '%s\n' "$metrics" | grep -q '^alsrac_jobs{state="done"} 1$' || {
     echo "job not counted as done:"; printf '%s\n' "$metrics" | grep alsrac_jobs; exit 1; }
+
+# The robustness series must be exported even when nothing went wrong (a
+# clean run reports them at 0) so dashboards and alerts can rely on them.
+for series in alsrac_checkpoint_fallback_total alsrac_store_retries_total \
+              alsrac_jobs_quarantined_total alsrac_worker_panics_total; do
+    printf '%s\n' "$metrics" | grep -q "^$series " || {
+        echo "missing robustness series $series:"; printf '%s\n' "$metrics"; exit 1; }
+done
 echo "metrics OK"
 
 # Graceful shutdown must complete promptly.

@@ -11,7 +11,15 @@ go build ./...
 go vet ./...
 go run ./cmd/alsraclint ./...
 go test ./...
-go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/errest ./internal/core ./internal/obs ./internal/service
+go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/errest ./internal/core ./internal/obs ./internal/service ./internal/faultfs
+
+# Chaos gate: the seeded fault-injection matrix (torn writes, injected
+# errnos, crash points, worker panics, crash-loop quarantine) under the race
+# detector. Set CHAOS=0 to skip locally; CI always runs it.
+CHAOS="${CHAOS:-1}"
+if [ "$CHAOS" != "0" ]; then
+    go test -race -run '^TestChaos' ./internal/service
+fi
 
 # Daemon e2e smoke: submit over HTTP, poll to completion, scrape /metrics,
 # graceful shutdown.
@@ -22,3 +30,5 @@ FUZZTIME="${FUZZTIME:-10s}"
 go test -run='^$' -fuzz='^FuzzCoverScan$' -fuzztime="$FUZZTIME" ./internal/resub
 go test -run='^$' -fuzz='^FuzzISOP$' -fuzztime="$FUZZTIME" ./internal/tt
 go test -run='^$' -fuzz='^FuzzEspresso$' -fuzztime="$FUZZTIME" ./internal/espresso
+go test -run='^$' -fuzz='^FuzzAIGERParse$' -fuzztime="$FUZZTIME" ./internal/aiger
+go test -run='^$' -fuzz='^FuzzBLIFParse$' -fuzztime="$FUZZTIME" ./internal/blif
