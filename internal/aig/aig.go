@@ -80,11 +80,16 @@ func (l Lit) String() string {
 // Kind classifies a node.
 type Kind uint8
 
-// The three node kinds of an AIG.
+// The node kinds of an AIG. KindDead marks a recycled slot: a node freed by
+// an in-place replacement whose id may be reused by a later allocation (see
+// ReplaceNode). Dead slots carry cleared fanins, are never referenced by live
+// nodes or primary outputs, and are skipped by every consumer that filters on
+// KindAnd — which is all of them.
 const (
 	KindConst Kind = iota // the constant-zero node (always node 0)
 	KindPI                // primary input
 	KindAnd               // two-input AND gate
+	KindDead              // freed slot awaiting recycling
 )
 
 // Graph is a mutable, structurally hashed AIG.
@@ -105,6 +110,18 @@ type Graph struct {
 
 	strash map[uint64]Node
 	nAnds  int
+
+	// free holds the ids of KindDead slots in strictly increasing order;
+	// And() recycles the smallest free slot whose id exceeds both fanin ids,
+	// preserving the topological id-ordering invariant. epoch[n] is bumped
+	// whenever slot n changes meaning (allocated, recycled or freed), so
+	// simulation arenas detect structurally dirty slots by comparing a
+	// remembered epoch against the graph's.
+	free  []Node
+	epoch []uint32
+
+	// repl is scratch reused across ReplaceNode calls (never cloned).
+	repl replaceScratch
 }
 
 // New returns an empty graph containing only the constant node.
@@ -113,6 +130,7 @@ func New() *Graph {
 		kind:   make([]Kind, 1, 64),
 		fanin0: make([]Lit, 1, 64),
 		fanin1: make([]Lit, 1, 64),
+		epoch:  make([]uint32, 1, 64),
 		strash: make(map[uint64]Node),
 	}
 	g.kind[0] = KindConst
@@ -215,12 +233,82 @@ func (g *Graph) AddPO(l Lit, name string) int {
 // SetPO redirects the i-th primary output to drive lit.
 func (g *Graph) SetPO(i int, l Lit) { g.pos[i] = l }
 
+// Epoch returns the structural epoch of slot n (see the free/epoch fields).
+func (g *Graph) Epoch(n Node) uint32 { return g.epoch[n] }
+
+// NumDead returns the number of dead (recyclable) slots.
+func (g *Graph) NumDead() int { return len(g.free) }
+
 func (g *Graph) newNode(k Kind, f0, f1 Lit) Node {
+	if k == KindAnd {
+		if n, ok := g.recycleSlot(max(f0.Node(), f1.Node())); ok {
+			g.kind[n] = KindAnd
+			g.fanin0[n] = f0
+			g.fanin1[n] = f1
+			g.epoch[n]++
+			return n
+		}
+	}
 	n := Node(len(g.kind))
 	g.kind = append(g.kind, k)
 	g.fanin0 = append(g.fanin0, f0)
 	g.fanin1 = append(g.fanin1, f1)
+	g.epoch = append(g.epoch, 1)
 	return n
+}
+
+// recycleSlot pops the smallest free slot with id strictly greater than
+// minAbove — the largest fanin id of the node about to occupy it — so the
+// topological id-ordering invariant survives recycling. The free list is
+// sorted ascending, so a binary search finds the candidate.
+//
+//alsrac:hotpath
+func (g *Graph) recycleSlot(minAbove Node) (Node, bool) {
+	lo, hi := 0, len(g.free)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.free[mid] <= minAbove {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(g.free) {
+		return 0, false
+	}
+	n := g.free[lo]
+	copy(g.free[lo:], g.free[lo+1:])
+	g.free = g.free[:len(g.free)-1]
+	return n, true
+}
+
+// freeNode marks an AND slot dead and queues it for recycling: the strash
+// entry is dropped, the fanins are cleared, the epoch is bumped and the id
+// is inserted into the sorted free list. The caller guarantees the node is
+// unreferenced.
+//
+//alsrac:hotpath
+func (g *Graph) freeNode(n Node) {
+	delete(g.strash, uint64(g.fanin0[n])<<32|uint64(g.fanin1[n]))
+	g.kind[n] = KindDead
+	g.fanin0[n] = 0
+	g.fanin1[n] = 0
+	g.epoch[n]++
+	g.nAnds--
+	// Insert keeping the list sorted; frees arrive in descending id order
+	// during a dead sweep, so the insertion point is usually the front.
+	lo, hi := 0, len(g.free)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.free[mid] < n {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	g.free = append(g.free, 0)
+	copy(g.free[lo+1:], g.free[lo:])
+	g.free[lo] = n
 }
 
 // And returns a literal for the conjunction of a and b, folding constants,
@@ -372,6 +460,10 @@ func (g *Graph) Check() error {
 	for n := Node(1); int(n) < g.NumNodes(); n++ {
 		switch g.kind[n] {
 		case KindPI:
+		case KindDead:
+			if g.fanin0[n] != 0 || g.fanin1[n] != 0 {
+				return fmt.Errorf("aig: dead node %d has uncleared fanins", n)
+			}
 		case KindAnd:
 			f0, f1 := g.fanin0[n], g.fanin1[n]
 			if f0.Node() >= n || f1.Node() >= n {

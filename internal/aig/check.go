@@ -21,7 +21,54 @@ func (g *Graph) CheckStrict() error {
 	if err := g.checkStrash(); err != nil {
 		return err
 	}
-	return g.checkPIs()
+	if err := g.checkPIs(); err != nil {
+		return err
+	}
+	return g.checkRecycling()
+}
+
+// checkRecycling validates the slot-recycling bookkeeping added for in-place
+// replacement: the free list must enumerate exactly the KindDead slots in
+// strictly increasing order, no live AND node or primary output may reference
+// a dead slot, and the epoch slice must cover every slot (epochs themselves
+// carry no invariant beyond length — they only need to change when a slot
+// does, which the arena tests pin behaviorally).
+func (g *Graph) checkRecycling() error {
+	if len(g.epoch) != g.NumNodes() {
+		return fmt.Errorf("aig: epoch slice has %d entries for %d nodes", len(g.epoch), g.NumNodes())
+	}
+	dead := 0
+	for n := Node(1); int(n) < g.NumNodes(); n++ {
+		switch g.kind[n] {
+		case KindDead:
+			dead++
+		case KindAnd:
+			for _, f := range [2]Lit{g.fanin0[n], g.fanin1[n]} {
+				if g.kind[f.Node()] == KindDead {
+					return fmt.Errorf("aig: live node %d references dead node %d", n, f.Node())
+				}
+			}
+		}
+	}
+	if dead != len(g.free) {
+		return fmt.Errorf("aig: %d dead slots but %d free-list entries", dead, len(g.free))
+	}
+	prev := Node(0)
+	for i, n := range g.free {
+		if int(n) >= g.NumNodes() || g.kind[n] != KindDead {
+			return fmt.Errorf("aig: free-list entry %d (node %d) is not a dead slot", i, n)
+		}
+		if n <= prev {
+			return fmt.Errorf("aig: free list not strictly increasing at entry %d (node %d)", i, n)
+		}
+		prev = n
+	}
+	for i, po := range g.pos {
+		if g.kind[po.Node()] == KindDead {
+			return fmt.Errorf("aig: PO %d driven by dead node %d", i, po.Node())
+		}
+	}
+	return nil
 }
 
 // checkAcyclic verifies by depth-first traversal that no node is reachable

@@ -64,6 +64,17 @@ func (g *Graph) CopyWith(sub map[Node]Lit) *Graph {
 		nl := resolve(po.Node()).NotCond(po.IsCompl())
 		ng.AddPO(nl, g.poNames[i])
 	}
+	// A substitution can make a consumer fold to a constant or a fanin after
+	// its cone was already rebuilt, stranding the cone as garbage in ng. A
+	// second, substitution-free pass rebuilds only what the POs reach; it
+	// cannot strand anything itself because a canonical graph re-folds to
+	// exactly the same literals.
+	refs := ng.RefCounts()
+	for n := Node(1); int(n) < ng.NumNodes(); n++ {
+		if ng.kind[n] == KindAnd && refs[n] == 0 {
+			return ng.CopyWith(nil)
+		}
+	}
 	return ng
 }
 
@@ -80,6 +91,8 @@ func (g *Graph) Clone() *Graph {
 		poNames: append([]string(nil), g.poNames...),
 		strash:  make(map[uint64]Node, len(g.strash)),
 		nAnds:   g.nAnds,
+		free:    append([]Node(nil), g.free...),
+		epoch:   append([]uint32(nil), g.epoch...),
 	}
 	for k, v := range g.strash {
 		ng.strash[k] = v

@@ -1,0 +1,174 @@
+package aig
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Raw graph codec: an exact, id-preserving serialization of a Graph
+// including dead (recyclable) slots. The AIGER writer renumbers nodes
+// compactly, which is right for interchange but wrong for checkpoints of a
+// session using in-place replacement — a resumed run must see the same slot
+// layout and free list, or its future allocations (and with them candidate
+// tie-breaks) would drift from the run it resumes. Epochs are deliberately
+// not serialized: they only ever feed equality comparisons against arena
+// copies taken after restore, so a fresh zeroed epoch slice is equivalent.
+//
+// Layout (little-endian):
+//
+//	magic   "AIGRAW01"                     8 bytes
+//	name    u32 length + bytes
+//	nodes   u32, then kind bytes (nodes)
+//	        then fanin0,fanin1 u32 pairs for each KindAnd slot in id order
+//	pis     u32 count, node u32 each, then names (u32 length + bytes each)
+//	pos     u32 count, lit u32 each, then names
+
+const rawMagic = "AIGRAW01"
+
+// AppendRaw appends the raw encoding of g to buf and returns the result.
+func (g *Graph) AppendRaw(buf []byte) []byte {
+	buf = append(buf, rawMagic...)
+	buf = appendRawString(buf, g.Name)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.NumNodes()))
+	for _, k := range g.kind {
+		buf = append(buf, byte(k))
+	}
+	for n := Node(0); int(n) < g.NumNodes(); n++ {
+		if g.kind[n] != KindAnd {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g.fanin0[n]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(g.fanin1[n]))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.pis)))
+	for _, pi := range g.pis {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(pi))
+	}
+	for i := range g.pis {
+		buf = appendRawString(buf, g.PIName(i))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(g.pos)))
+	for _, po := range g.pos {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(po))
+	}
+	for i := range g.pos {
+		buf = appendRawString(buf, g.POName(i))
+	}
+	return buf
+}
+
+func appendRawString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// FromRaw decodes a graph encoded by AppendRaw, restoring node ids, dead
+// slots and the derived free list and structural-hash table exactly. The
+// decoded graph passes CheckStrict whenever the encoded one did.
+func FromRaw(data []byte) (*Graph, error) {
+	d := rawReader{buf: data}
+	if string(d.take(len(rawMagic))) != rawMagic {
+		return nil, fmt.Errorf("aig: raw graph: bad magic")
+	}
+	g := &Graph{strash: make(map[uint64]Node)}
+	g.Name = d.str()
+	nodes := int(d.u32())
+	if d.err == nil && (nodes < 1 || nodes > len(data)) {
+		return nil, fmt.Errorf("aig: raw graph: implausible node count %d", nodes)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("aig: raw graph: %v", d.err)
+	}
+	g.kind = make([]Kind, nodes)
+	g.fanin0 = make([]Lit, nodes)
+	g.fanin1 = make([]Lit, nodes)
+	g.epoch = make([]uint32, nodes)
+	for i := range g.kind {
+		g.kind[i] = Kind(d.take(1)[0])
+	}
+	for n := Node(0); int(n) < nodes && d.err == nil; n++ {
+		switch g.kind[n] {
+		case KindConst:
+			if n != 0 {
+				return nil, fmt.Errorf("aig: raw graph: constant kind at node %d", n)
+			}
+		case KindPI:
+		case KindDead:
+			g.free = append(g.free, n)
+		case KindAnd:
+			f0, f1 := Lit(d.u32()), Lit(d.u32())
+			if f0.Node() >= n || f1.Node() >= n || f0 > f1 {
+				return nil, fmt.Errorf("aig: raw graph: node %d has invalid fanins", n)
+			}
+			g.fanin0[n], g.fanin1[n] = f0, f1
+			key := uint64(f0)<<32 | uint64(f1)
+			if _, dup := g.strash[key]; dup {
+				return nil, fmt.Errorf("aig: raw graph: duplicate structure at node %d", n)
+			}
+			g.strash[key] = n
+			g.nAnds++
+		default:
+			return nil, fmt.Errorf("aig: raw graph: node %d has invalid kind %d", n, g.kind[n])
+		}
+	}
+	nPIs := int(d.u32())
+	if d.err == nil && nPIs > nodes {
+		return nil, fmt.Errorf("aig: raw graph: %d PIs for %d nodes", nPIs, nodes)
+	}
+	for i := 0; i < nPIs && d.err == nil; i++ {
+		pi := Node(d.u32())
+		if int(pi) >= nodes || g.kind[pi] != KindPI {
+			return nil, fmt.Errorf("aig: raw graph: PI %d at non-PI node %d", i, pi)
+		}
+		g.pis = append(g.pis, pi)
+	}
+	for i := 0; i < nPIs && d.err == nil; i++ {
+		g.piNames = append(g.piNames, d.str())
+	}
+	nPOs := int(d.u32())
+	if d.err == nil && nPOs > len(d.buf) {
+		return nil, fmt.Errorf("aig: raw graph: implausible PO count %d", nPOs)
+	}
+	for i := 0; i < nPOs && d.err == nil; i++ {
+		po := Lit(d.u32())
+		if int(po.Node()) >= nodes || g.kind[po.Node()] == KindDead {
+			return nil, fmt.Errorf("aig: raw graph: PO %d points at invalid node", i)
+		}
+		g.pos = append(g.pos, po)
+	}
+	for i := 0; i < nPOs && d.err == nil; i++ {
+		g.poNames = append(g.poNames, d.str())
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("aig: raw graph: %v", d.err)
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("aig: raw graph: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return g, nil
+}
+
+type rawReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *rawReader) take(n int) []byte {
+	if d.err != nil {
+		return make([]byte, n)
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("truncated at offset %d", d.off)
+		return make([]byte, n)
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *rawReader) u32() uint32 {
+	return binary.LittleEndian.Uint32(d.take(4))
+}
+
+func (d *rawReader) str() string { return string(d.take(int(d.u32()))) }

@@ -22,6 +22,7 @@ var fixtureCases = []struct {
 	{"determinism_ok.go", "repro/internal/sim", DeterminismAnalyzer},
 	{"hotpath_bad.go", "repro/internal/wordops", HotpathAnalyzer},
 	{"hotpath_ok.go", "repro/internal/wordops", HotpathAnalyzer},
+	{"recycle_bad.go", "repro/internal/aig", HotpathAnalyzer},
 	{"concurrency_bad.go", "repro/internal/core", ConcurrencyAnalyzer},
 	{"concurrency_ok.go", "repro/internal/core", ConcurrencyAnalyzer},
 	{"tailmask_bad.go", "repro/internal/errest", TailmaskAnalyzer},

@@ -36,9 +36,41 @@ func BenchmarkRankCandidates(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				_ = rankCandidates(context.Background(), ev, g, evalPats, cands, workers)
+				_ = rankCandidates(context.Background(), ev, g, evalPats, nil, cands, workers)
 			}
 			b.ReportMetric(float64(len(cands)), "candidates")
 		})
+	}
+}
+
+// BenchmarkSessionStep measures one full flow iteration on the incremental
+// path — generation with the persistent arenas and candidate cache, ranking
+// against the borrowed eval vectors, and an in-place commit with dirty-TFO
+// resimulation. Sessions that finish mid-loop are replaced outside the timer.
+func BenchmarkSessionStep(b *testing.B) {
+	g := rippleAdder(32)
+	opts := DefaultOptions(errest.NMED, 0.001)
+	opts.EvalPatterns = 4096
+	opts.Workers = 1
+
+	newSession := func() *Session {
+		s := NewSession(g, opts)
+		if !s.inc {
+			b.Fatal("session did not take the incremental path")
+		}
+		return s
+	}
+	s := newSession()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Done() {
+			b.StopTimer()
+			s = newSession()
+			b.StartTimer()
+		}
+		if _, err := s.Step(context.Background()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -10,11 +10,10 @@ import (
 	"math"
 
 	"repro/internal/aig"
-	"repro/internal/aiger"
 	"repro/internal/errest"
 )
 
-// Checkpoint format (version 1, little-endian):
+// Checkpoint format (version 2, little-endian):
 //
 //	magic   "ALSRACKP"            8 bytes
 //	version uint32
@@ -24,30 +23,37 @@ import (
 //	nEval   int64                 evaluation pattern budget (after clamping)
 //	depthCap, n, streak, stall, iterations, applied  int64
 //	curErr  float64
+//	sinceOpt int64, careSeed int64, careN int64, careOK uint8
+//	         (incremental-path state; zero/false on the legacy path)
 //	done    uint8, reason string  (uint32 length + bytes)
 //	history uint32 count, then per record:
 //	        iteration, rounds, candidates, ands int64; applied uint8; err float64
-//	graphs  orig, cur as length-prefixed binary AIGER blocks;
+//	graphs  orig, cur as length-prefixed raw-codec blocks (aig.AppendRaw);
 //	        bestSame uint8 (1 when best == cur), else a third block
 //	crc     uint32 IEEE CRC-32 over everything above
 //
-// The graphs are stored in the compact binary AIGER encoding, which
-// preserves node order exactly: both the writer's renumbering and the
-// reader's strashing reconstruction walk nodes in id order, so a compact
-// graph (every graph the flow produces is swept) round-trips to identical
-// node ids — the property the flow's determinism across a Snapshot/Restore
-// boundary rests on, and which TestSessionSnapshotRestoreDeterministic pins.
+// The graphs are stored in the raw arena codec (aig.AppendRaw/FromRaw),
+// which preserves node ids, dead slots, the free list and per-slot epochs
+// exactly. The incremental session mutates its working graph in place —
+// freed slots are recycled by later allocations — so a renumbering format
+// would make a restored session allocate different ids than the original
+// and diverge; the id-preserving codec is what keeps a resumed run bitwise
+// identical, which TestSessionSnapshotRestoreDeterministic pins.
 //
 // What is deliberately NOT serialized: Options fields that are functions
 // (Generator, Patterns, Verbose) or pure go-forward knobs (Patience, Scale,
-// MaxStall, Workers). Restore takes a fresh Options and verifies the fields
+// MaxStall, Workers), and the incremental session's derived state — the
+// simulation arenas (a full resimulation of the stored graph on the stored
+// care seed is bitwise identical to the incrementally maintained words) and
+// the generator's candidate cache (a full rescan reproduces the cached
+// merge exactly). Restore takes a fresh Options and verifies the fields
 // that would silently corrupt a resumed run if they differed (seed, metric,
 // threshold, evaluation budget); supplying the same Generator/Patterns
 // configuration is the caller's contract, exactly as it is for Run.
 
 const (
 	checkpointMagic   = "ALSRACKP"
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
 
 // Restore failure classes. A structurally damaged checkpoint — torn write,
@@ -80,6 +86,10 @@ func (s *Session) Snapshot(w io.Writer) error {
 	putI64(&buf, int64(s.iterations))
 	putI64(&buf, int64(s.applied))
 	putF64(&buf, s.curErr)
+	putI64(&buf, int64(s.sinceOpt))
+	putI64(&buf, s.careSeed)
+	putI64(&buf, int64(s.careN))
+	putBool(&buf, s.careOK)
 	putBool(&buf, s.done)
 	putString(&buf, s.reason)
 
@@ -149,6 +159,10 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 	iterations := int(d.i64())
 	applied := int(d.i64())
 	curErr := d.f64()
+	sinceOpt := int(d.i64())
+	careSeed := d.i64()
+	careN := int(d.i64())
+	careOK := d.bool()
 	done := d.bool()
 	reason := d.str()
 
@@ -211,6 +225,8 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 	s.depthCap = depthCap
 	s.n, s.streak, s.stall = n, streak, stall
 	s.curErr = curErr
+	s.sinceOpt = sinceOpt
+	s.careSeed, s.careN, s.careOK = careSeed, careN, careOK
 	s.iterations, s.applied = iterations, applied
 	s.history = history
 	s.done, s.reason = done, reason
@@ -249,12 +265,9 @@ func putString(b *bytes.Buffer, s string) {
 }
 
 func putGraph(b *bytes.Buffer, g *aig.Graph) error {
-	var gb bytes.Buffer
-	if err := aiger.Write(&gb, g, "aig"); err != nil {
-		return err
-	}
-	putU32(b, uint32(gb.Len()))
-	b.Write(gb.Bytes())
+	blk := g.AppendRaw(nil)
+	putU32(b, uint32(len(blk)))
+	b.Write(blk)
 	return nil
 }
 
@@ -312,5 +325,5 @@ func (d *ckptReader) graph() (*aig.Graph, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	return aiger.Read(bytes.NewReader(blk))
+	return aig.FromRaw(blk)
 }

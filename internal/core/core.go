@@ -39,6 +39,13 @@ type Candidate struct {
 	NewVec func(vecs *sim.Vectors, out []uint64)
 	// Apply substitutes the change into g and returns the new circuit.
 	Apply func(g *aig.Graph) *aig.Graph
+	// ApplyInPlace, when non-nil, commits the change into g itself —
+	// rewiring references with aig.ReplaceNode so untouched logic keeps its
+	// node ids and freed slots are recycled — and appends every node whose
+	// structure or reference count changed to *touched. The incremental
+	// session path requires it; generators that only produce Apply fall
+	// back to the copying path.
+	ApplyInPlace func(g *aig.Graph, touched *[]aig.Node)
 	// Err is filled by the flow: the estimated circuit error (against the
 	// original circuit) after applying this candidate.
 	Err float64
@@ -62,6 +69,25 @@ type WorkerGenerator interface {
 	GenerateWorkers(g *aig.Graph, care *sim.Vectors, valid int, workers int) []Candidate
 }
 
+// IncrementalGenerator is optionally implemented by WorkerGenerators that
+// can reuse candidate state across flow iterations when told which nodes
+// the last committed change invalidated. It is what enables the session's
+// incremental hot path: candidates from such a generator must also carry
+// ApplyInPlace.
+//
+// stale and cache come from the previous call on the same graph and
+// patterns: stale[v] true means node v's candidates must be recomputed,
+// and cache is the opaque value the previous call returned. A nil stale
+// mask requests a full scan (cache is ignored). The result must be bitwise
+// identical to a full GenerateWorkers scan for every (stale, cache)
+// handed back this way — worker-count invariance and the correctness of
+// checkpoint restore (which drops the cache and rescans) both rest on it.
+type IncrementalGenerator interface {
+	WorkerGenerator
+	GenerateIncremental(g *aig.Graph, care *sim.Vectors, valid, workers int,
+		stale []bool, cache any) ([]Candidate, any)
+}
+
 // ResubGenerator adapts package resub's approximate resubstitution to the
 // Generator interface — this is ALSRAC's LAC.
 type ResubGenerator struct {
@@ -75,15 +101,32 @@ func (rg ResubGenerator) Generate(g *aig.Graph, care *sim.Vectors, valid int) []
 
 // GenerateWorkers implements WorkerGenerator.
 func (rg ResubGenerator) GenerateWorkers(g *aig.Graph, care *sim.Vectors, valid int, workers int) []Candidate {
-	lacs := resub.GenerateWorkers(g, care, valid, rg.Cfg, workers)
+	return wrapLACs(resub.GenerateWorkers(g, care, valid, rg.Cfg, workers))
+}
+
+// GenerateIncremental implements IncrementalGenerator: cache is the LAC
+// slice of the previous call, and nodes the stale mask spares reuse their
+// cached entries instead of re-running the divisor scan (resub.GenerateReuse).
+func (rg ResubGenerator) GenerateIncremental(g *aig.Graph, care *sim.Vectors, valid, workers int,
+	stale []bool, cache any) ([]Candidate, any) {
+	cached, _ := cache.([]resub.LAC)
+	if stale == nil {
+		cached = nil
+	}
+	lacs := resub.GenerateReuse(g, care, valid, rg.Cfg, workers, stale, cached)
+	return wrapLACs(lacs), lacs
+}
+
+func wrapLACs(lacs []resub.LAC) []Candidate {
 	out := make([]Candidate, len(lacs))
 	for i := range lacs {
 		lac := lacs[i]
 		out[i] = Candidate{
-			Node:   lac.Node,
-			Gain:   lac.Gain,
-			NewVec: func(vecs *sim.Vectors, dst []uint64) { lac.EvalVec(vecs, dst) },
-			Apply:  func(g *aig.Graph) *aig.Graph { return lac.Apply(g) },
+			Node:         lac.Node,
+			Gain:         lac.Gain,
+			NewVec:       func(vecs *sim.Vectors, dst []uint64) { lac.EvalVec(vecs, dst) },
+			Apply:        func(g *aig.Graph) *aig.Graph { return lac.Apply(g) },
+			ApplyInPlace: func(g *aig.Graph, touched *[]aig.Node) { lac.ApplyInPlace(g, touched) },
 		}
 	}
 	return out
@@ -209,23 +252,38 @@ func RunCtx(ctx context.Context, g *aig.Graph, opts Options) Result {
 // or nil when there are no candidates. Candidates are grouped by node so
 // each node's fanout cone is re-simulated once (the batch estimation
 // trick); with workers > 1 the node groups are partitioned across worker
-// goroutines, each owning a Fork of the batch estimator. Evaluation is
-// branch-and-bound: each worker passes its best error so far as a pruning
-// bound, so hopeless candidates abort at the first simulation word that
-// exceeds it and report +Inf. The reduction is a sequential scan with a
-// fixed tie-break (smallest error, then largest gain, then first in node
-// order); pruned candidates never tie-break against survivors, so the
-// winner is independent of worker count and scheduling.
+// goroutines, each owning a Fork of the batch estimator. baseVecs, when
+// non-nil, is a caller-owned up-to-date simulation of cur on the
+// evaluation patterns (the incremental session's persistent arena), which
+// skips the full-circuit resimulation the batch setup otherwise performs.
+//
+// Evaluation is branch-and-bound: the smallest exact error seen by ANY
+// worker so far — published through an atomic — bounds every later
+// evaluation, so hopeless candidates abort at the first simulation word
+// that exceeds it and report +Inf. Which candidates get pruned depends on
+// scheduling, but the winner does not: a pruned candidate's error strictly
+// exceeds some exact error and therefore the global minimum, and a
+// candidate at least as good as the bound always gets its exact value (see
+// errest.Evaluator.EvalPOWordsBounded), so every minimum-error candidate is
+// evaluated exactly. The reduction is a sequential scan with a fixed
+// tie-break (smallest error, then largest gain, then first in node order);
+// pruned candidates never tie-break against survivors, so the winner is
+// independent of worker count and scheduling.
 //
 // Cancelling ctx stops the scan at the next group boundary; the caller
 // (Session.Step) detects ctx.Err and discards the partial ranking, so a
 // cancelled iteration commits nothing.
-func rankCandidates(ctx context.Context, ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, cands []Candidate, workers int) *Candidate {
+func rankCandidates(ctx context.Context, ev *errest.Evaluator, cur *aig.Graph, evalPats *sim.Patterns, baseVecs *sim.Vectors, cands []Candidate, workers int) *Candidate {
 	if len(cands) == 0 {
 		return nil
 	}
 	slices.SortStableFunc(cands, func(a, b Candidate) int { return int(a.Node) - int(b.Node) })
-	batch := errest.NewBatchWorkers(ev, cur, evalPats, workers)
+	var batch *errest.Batch
+	if baseVecs != nil {
+		batch = errest.NewBatchVecs(ev, cur, baseVecs)
+	} else {
+		batch = errest.NewBatchWorkers(ev, cur, evalPats, workers)
+	}
 	defer batch.Release()
 
 	// Group boundaries: candidates sharing a node form one work unit.
@@ -239,40 +297,30 @@ func rankCandidates(ctx context.Context, ev *errest.Evaluator, cur *aig.Graph, e
 		lo = hi
 	}
 
-	scan := func(b *errest.Batch, next func() int) {
-		vecs := b.Vectors()
+	if workers = sim.Workers(workers, len(groups)); workers <= 1 {
+		// Sequential scan: the pruning bound is a plain local, no atomics.
+		vecs := batch.Vectors()
 		buf := wordops.Get(vecs.Words)
-		defer wordops.Put(buf)
-		// Branch-and-bound: the smallest exact error this worker has seen
-		// prunes later evaluations. The bound is per-worker state, never
-		// shared, so which candidates get pruned to +Inf depends on the
-		// work split — but the winner does not: a pruned candidate's error
-		// strictly exceeds some exact error and therefore the global
-		// minimum, so it can neither win nor tie-break against the winner
-		// (see errest.Evaluator.EvalPOWordsBounded).
 		bound := math.Inf(1)
-		for {
-			gi := next()
-			if gi >= len(groups) || ctx.Err() != nil {
-				return
-			}
+		for gi := 0; gi < len(groups) && ctx.Err() == nil; gi++ {
 			lo, hi := groups[gi][0], groups[gi][1]
-			b.Prepare(cands[lo].Node)
+			batch.Prepare(cands[lo].Node)
 			for i := lo; i < hi; i++ {
 				c := &cands[i]
 				c.NewVec(vecs, buf)
-				c.Err = b.EvalCandidateBounded(c.Node, buf, bound)
+				c.Err = batch.EvalCandidateBounded(c.Node, buf, bound)
 				if c.Err < bound {
 					bound = c.Err
 				}
 			}
 		}
-	}
-
-	if workers = sim.Workers(workers, len(groups)); workers <= 1 {
-		seq := 0
-		scan(batch, func() int { seq++; return seq - 1 })
+		wordops.Put(buf)
 	} else {
+		// The shared pruning bound, stored as float64 bits (see lowerBound):
+		// the smallest exact error any worker has published prunes every
+		// later evaluation on all workers.
+		var boundBits atomic.Uint64
+		boundBits.Store(math.Float64bits(math.Inf(1)))
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -281,7 +329,24 @@ func rankCandidates(ctx context.Context, ev *errest.Evaluator, cur *aig.Graph, e
 				defer wg.Done()
 				fork := batch.Fork()
 				defer fork.Release()
-				scan(fork, func() int { return int(next.Add(1)) - 1 })
+				vecs := fork.Vectors()
+				buf := wordops.Get(vecs.Words)
+				defer wordops.Put(buf)
+				for {
+					gi := int(next.Add(1)) - 1
+					if gi >= len(groups) || ctx.Err() != nil {
+						return
+					}
+					lo, hi := groups[gi][0], groups[gi][1]
+					fork.Prepare(cands[lo].Node)
+					for i := lo; i < hi; i++ {
+						c := &cands[i]
+						c.NewVec(vecs, buf)
+						c.Err = fork.EvalCandidateBounded(c.Node, buf,
+							math.Float64frombits(boundBits.Load()))
+						lowerBound(&boundBits, c.Err)
+					}
+				}
 			}()
 		}
 		wg.Wait()
@@ -295,4 +360,18 @@ func rankCandidates(ctx context.Context, ev *errest.Evaluator, cur *aig.Graph, e
 		}
 	}
 	return best
+}
+
+// lowerBound CAS-mins e into the pruning bound. Errors are finite and
+// non-negative, so the loop converges; +Inf results never lower the bound.
+func lowerBound(bound *atomic.Uint64, e float64) {
+	for {
+		old := bound.Load()
+		if e >= math.Float64frombits(old) {
+			return
+		}
+		if bound.CompareAndSwap(old, math.Float64bits(e)) {
+			return
+		}
+	}
 }

@@ -25,7 +25,10 @@ const (
 	// patterns next step.
 	EventDepthReject EventKind = "depth-reject"
 	// EventThreshold: even the best candidate violates the error threshold
-	// (Algorithm 3, line 7) — the session is finished after this step.
+	// (Algorithm 3, line 7). The session is finished after this step (Done
+	// set) when the candidates came from a freshly drawn care set; on the
+	// incremental path a persisted care set gets one fresh draw first — the
+	// event is then non-final and the next step retries, stall-guarded.
 	EventThreshold EventKind = "threshold"
 	// EventDone: the session had already finished; no work was performed.
 	EventDone EventKind = "done"
@@ -82,6 +85,33 @@ type Session struct {
 	stall    int // consecutive iterations without an applied LAC
 	curErr   float64
 
+	// Incremental hot path (inc is true when the generator implements
+	// IncrementalGenerator and no depth cap is in effect). The working
+	// graph is mutated in place with ReplaceNode, and two persistent
+	// simulation arenas — care patterns and evaluation patterns — are kept
+	// up to date by resimulating only the dirty TFO slice of each commit.
+	// careSeed/careN identify the live care patterns (they persist across
+	// pure-win commits and reroll after an empty round, a non-shrinking
+	// commit, or an optimizer flush); careOK is false when the next step
+	// must reroll. The arenas themselves are rebuilt
+	// lazily from that identity — after NewSession and after Restore —
+	// which is sound because a full simulation is bitwise identical to the
+	// incrementally maintained state. genStale/genCache are the candidate
+	// invalidation mask and the generator's opaque cache; both are
+	// droppable for the same reason (a full rescan reproduces the cached
+	// merge exactly), which keeps checkpoints free of derived state.
+	inc       bool
+	careArena *sim.Arena
+	evalArena *sim.Arena
+	careSeed  int64
+	careN     int
+	careOK    bool
+	sinceOpt  int // commits since the last re-optimization
+	genStale []bool
+	genCache any
+	epochs   []uint32   // scratch: epoch snapshot for StaleClosure
+	touched  []aig.Node // scratch: ReplaceNode touched list
+
 	iterations int
 	applied    int
 	history    []IterRecord
@@ -91,6 +121,18 @@ type Session struct {
 	finalErr float64 // cached by Result once done
 	finalOK  bool
 }
+
+// optEvery is the re-optimization cadence of the incremental path: the
+// traditional synthesis pass (Algorithm 3, line 9) runs after this many
+// committed LACs instead of after every one. Optimization rebuilds the
+// graph with fresh node ids, which forces both arenas to resimulate from
+// scratch and drops the generator cache, so batching it is what lets the
+// incremental machinery amortize. The best snapshot is updated only at
+// these optimize boundaries (and at the final flush when the session
+// finishes mid-batch), so the reported result is always fully optimized —
+// zero-gain LACs whose payoff only materializes under the optimizer are
+// credited exactly as on the legacy path, just in batches.
+const optEvery = 8
 
 // NewSession prepares a Session over circuit g. g itself is never modified;
 // it is retained as the error reference and serialized into snapshots.
@@ -135,6 +177,8 @@ func NewSession(g *aig.Graph, opts Options) *Session {
 		s.depthCap = int(opts.MaxDepthRatio * float64(s.cur.Depth()))
 	}
 	s.n = opts.InitialRounds
+	_, incOK := s.opts.Generator.(IncrementalGenerator)
+	s.inc = incOK && opts.MaxDepthRatio <= 0
 	return s
 }
 
@@ -163,20 +207,28 @@ func (s *Session) Step(ctx context.Context) (Event, error) {
 	iter := s.iterations + 1
 	iterSeed := s.opts.Seed + int64(iter)*7919
 
-	care := s.opts.Patterns(s.cur.NumPIs(), s.n, iterSeed)
-	vecs := sim.SimulateWorkers(s.cur, care, s.workers)
 	var cands []Candidate
-	if wg, ok := s.opts.Generator.(WorkerGenerator); ok {
-		cands = wg.GenerateWorkers(s.cur, vecs, care.Valid, s.workers)
+	careFresh := true
+	if s.inc {
+		cands, careFresh = s.generateIncremental(iterSeed)
 	} else {
-		cands = s.opts.Generator.Generate(s.cur, vecs, care.Valid)
+		care := s.opts.Patterns(s.cur.NumPIs(), s.n, iterSeed)
+		vecs := sim.SimulateWorkers(s.cur, care, s.workers)
+		if wg, ok := s.opts.Generator.(WorkerGenerator); ok {
+			cands = wg.GenerateWorkers(s.cur, vecs, care.Valid, s.workers)
+		} else {
+			cands = s.opts.Generator.Generate(s.cur, vecs, care.Valid)
+		}
+		vecs.Release()
 	}
-	vecs.Release()
 
 	if len(cands) == 0 {
 		s.iterations = iter
 		s.streak++
 		s.stall++
+		// The same patterns would regenerate the same emptiness: draw fresh
+		// ones next step (no-op for the legacy path, which rerolls anyway).
+		s.careOK = false
 		ev := Event{Kind: EventNoCandidates, Iteration: iter, Err: s.curErr, Ands: s.cur.NumAnds()}
 		if s.streak >= s.opts.Patience {
 			s.n = int(float64(s.n) * s.opts.Scale)
@@ -192,9 +244,15 @@ func (s *Session) Step(ctx context.Context) (Event, error) {
 		return ev, nil
 	}
 
-	bestCand := rankCandidates(ctx, s.ev, s.cur, s.evalPats, cands, s.workers)
+	var baseVecs *sim.Vectors
+	if s.inc {
+		baseVecs = s.evalArena.Vectors()
+	}
+	bestCand := rankCandidates(ctx, s.ev, s.cur, s.evalPats, baseVecs, cands, s.workers)
 	if err := ctx.Err(); err != nil {
-		// Ranking was cut short; nothing has been committed.
+		// Ranking was cut short; nothing has been committed. (The care
+		// reroll and generator cache refresh above are idempotent: a later
+		// retry of this iteration reproduces them bitwise.)
 		return Event{}, err
 	}
 
@@ -206,6 +264,16 @@ func (s *Session) Step(ctx context.Context) (Event, error) {
 	if bestCand.Err > s.opts.Threshold {
 		rec.Err, rec.Ands = s.curErr, s.cur.NumAnds()
 		s.record(rec)
+		if s.inc && !careFresh {
+			// Every candidate from the persisted care set is over budget.
+			// The paper's flow draws fresh patterns each iteration, so the
+			// threshold verdict is only final on a fresh draw: reroll next
+			// step and retry, counting toward the stall guard.
+			s.stall++
+			s.careOK = false
+			return Event{Kind: EventThreshold, Iteration: iter, Rounds: s.n,
+				Candidates: len(cands), Err: s.curErr, Ands: s.cur.NumAnds()}, nil
+		}
 		ev := s.finish(ReasonThreshold)
 		ev.Kind = EventThreshold
 		ev.Iteration, ev.Rounds, ev.Candidates = iter, s.n, len(cands)
@@ -214,33 +282,52 @@ func (s *Session) Step(ctx context.Context) (Event, error) {
 
 	prevAnds := s.cur.NumAnds()
 	prevErr := s.curErr
-	cand := bestCand.Apply(s.cur)
-	if !s.opts.SkipOptimize {
-		cand = opt.Optimize(cand)
+	flushed := false
+	if s.inc {
+		flushed = s.commitInPlace(bestCand)
 	} else {
-		cand = cand.Sweep()
+		cand := bestCand.Apply(s.cur)
+		if !s.opts.SkipOptimize {
+			cand = opt.Optimize(cand)
+		} else {
+			cand = cand.Sweep()
+		}
+		if s.depthCap > 0 && cand.Depth() > s.depthCap {
+			// Delay-constrained mode: drop this change and try again with
+			// fresh patterns next iteration.
+			s.stall++
+			rec.Err, rec.Ands = s.curErr, s.cur.NumAnds()
+			s.record(rec)
+			return Event{Kind: EventDepthReject, Iteration: iter, Rounds: s.n,
+				Candidates: len(cands), Err: s.curErr, Ands: s.cur.NumAnds()}, nil
+		}
+		s.cur = cand
 	}
-	if s.depthCap > 0 && cand.Depth() > s.depthCap {
-		// Delay-constrained mode: drop this change and try again with fresh
-		// patterns next iteration.
-		s.stall++
-		rec.Err, rec.Ands = s.curErr, s.cur.NumAnds()
-		s.record(rec)
-		return Event{Kind: EventDepthReject, Iteration: iter, Rounds: s.n,
-			Candidates: len(cands), Err: s.curErr, Ands: s.cur.NumAnds()}, nil
-	}
-	s.cur = cand
 	s.curErr = bestCand.Err
 	s.applied++
-	if s.cur.NumAnds() >= prevAnds && s.curErr == prevErr {
-		// The change neither shrank the circuit nor consumed error budget:
-		// count it toward the stall guard so a cycle of zero-progress
-		// changes cannot loop forever.
-		s.stall++
-	} else {
+	switch {
+	case s.cur.NumAnds() < prevAnds:
 		s.stall = 0
+	case s.curErr != prevErr:
+		// An error-budget trade: no smaller yet, but the changed circuit can
+		// unlock reductions with fresh patterns next step.
+		s.stall = 0
+	default:
+		s.stall++
 	}
-	if s.cur.NumAnds() < s.best.NumAnds() {
+	if s.inc && (flushed || s.cur.NumAnds() >= prevAnds) {
+		// Care persists exactly as long as the incremental caches do. An
+		// optimizer flush renumbers every node and drops the generator cache,
+		// so nothing the persisted patterns fed survives it — and the flow
+		// measurably benefits from the legacy flow's fresh-patterns diversity
+		// on precisely those commits (budget trades and zero-gain exchanges;
+		// a pair of inverse zero-gain changes can even toggle forever on a
+		// persisted set). Pure winning streaks keep their patterns.
+		s.careOK = false
+	}
+	if !s.inc && s.cur.NumAnds() < s.best.NumAnds() {
+		// Incremental best tracking happens at the optimize boundaries
+		// inside commitInPlace, where the snapshot is fully optimized.
 		s.best = s.cur
 	}
 	rec.Applied, rec.Err, rec.Ands = true, s.curErr, s.cur.NumAnds()
@@ -251,13 +338,146 @@ func (s *Session) Step(ctx context.Context) (Event, error) {
 		Applied: true, Err: s.curErr, Ands: s.cur.NumAnds()}, nil
 }
 
+// generateIncremental is the incremental produce path of Step. The care
+// arena persists across pure-win commits — those keep it up to date by
+// dirty-TFO resimulation — and is rerolled with the step's seed after an
+// empty round, a rounds change, a non-shrinking commit, or any optimizer
+// flush (pattern persistence and cache persistence share one lifetime).
+// The generator reuses its cached candidates for every node the last
+// commit's stale closure spared.
+//
+// Every mutation here is idempotent with respect to a retry of the same
+// iteration (after a context abort, or after Restore): the reroll is a pure
+// function of (iterSeed, n), regeneration from an all-false mask returns
+// the cache unchanged, and a full rescan after a dropped cache is bitwise
+// identical to the cached merge.
+func (s *Session) generateIncremental(iterSeed int64) (cands []Candidate, fresh bool) {
+	gen := s.opts.Generator.(IncrementalGenerator)
+	if s.evalArena == nil {
+		s.evalArena = sim.NewArena(s.cur, s.evalPats, s.workers)
+	}
+	reroll := !s.careOK || s.careN != s.n
+	if reroll {
+		s.careSeed, s.careN, s.careOK = iterSeed, s.n, true
+		s.genStale, s.genCache = nil, nil
+	}
+	if s.careArena == nil || reroll {
+		care := s.opts.Patterns(s.cur.NumPIs(), s.careN, s.careSeed)
+		if s.careArena == nil {
+			s.careArena = sim.NewArena(s.cur, care, s.workers)
+		} else {
+			s.careArena.Rebind(s.cur, care)
+		}
+	}
+	cands, cache := gen.GenerateIncremental(s.cur, s.careArena.Vectors(),
+		s.careArena.Patterns().Valid, s.workers, s.genStale, s.genCache)
+	s.genCache = cache
+	// The mask is consumed: until the next commit writes a fresh closure,
+	// nothing is stale, and a retried step reproduces cands from the cache.
+	s.genStale = allFalse(s.genStale, s.cur.NumNodes())
+	return cands, reroll
+}
+
+// commitInPlace applies the winning candidate to the working graph itself
+// and brings the persistent machinery up to date: both arenas resimulate
+// only the dirty TFO slice of the change, and the stale closure over the
+// epoch diff and touched list tells the next generation which candidate
+// entries to rebuild. The traditional optimizer runs at an adaptive
+// cadence: a commit stays on the pure incremental path only when it is an
+// outright win — the live AND count shrank and no error budget was spent.
+// Anything else (a zero-gain commit, or one that consumed budget) gets the
+// optimizer immediately, because those are exactly the commits where the
+// legacy flow's per-commit optimizer harvests reductions the LAC alone did
+// not; skipping it there measurably degrades the final area. A backstop
+// flush every optEvery commits bounds drift during long winning streaks.
+// Each flush compacts the graph, resets the incremental state and gives
+// the best snapshot its chance to improve. The return reports whether a
+// flush happened — the caller redraws the care patterns then, so pattern
+// persistence and cache persistence share one lifetime.
+func (s *Session) commitInPlace(c *Candidate) bool {
+	if s.best == s.cur {
+		// best must not alias a graph that is about to mutate in place.
+		s.best = s.cur.Sweep()
+	}
+	prevAnds := s.cur.NumAnds()
+	pureWin := c.Err == s.curErr // no budget spent; shrink checked below
+	s.epochs = s.cur.EpochsInto(s.epochs)
+	s.touched = s.touched[:0]
+	c.ApplyInPlace(s.cur, &s.touched)
+	s.careArena.Update()
+	s.evalArena.Update()
+	s.genStale = s.cur.StaleClosure(s.epochs, s.touched)
+	s.sinceOpt++
+	pureWin = pureWin && s.cur.NumAnds() < prevAnds
+	if !s.opts.SkipOptimize && (s.sinceOpt >= optEvery || !pureWin) {
+		s.flushOptimize()
+		// The care arena is NOT rebound here: the caller redraws the care
+		// patterns after every flush, and the next generateIncremental
+		// rebinds the arena to the fresh draw in one pass.
+		s.evalArena.Rebind(s.cur, s.evalPats)
+		return true
+	}
+	if s.opts.SkipOptimize && s.cur.NumAnds() < s.best.NumAnds() {
+		// Ablation mode has no optimize boundaries; mirror the legacy
+		// best policy on the swept in-place counts.
+		s.best = s.cur.Sweep()
+	}
+	return false
+}
+
+// flushOptimize runs the traditional optimizer on the working graph,
+// resets the incremental caches (the compacted graph has fresh node ids)
+// and updates the best snapshot when the optimized circuit is the smallest
+// seen. The working graph is always within the error threshold when this
+// runs, so every best snapshot respects the budget.
+func (s *Session) flushOptimize() {
+	s.cur = opt.Optimize(s.cur)
+	s.sinceOpt = 0
+	s.genStale, s.genCache = nil, nil
+	if s.cur.NumAnds() < s.best.NumAnds() {
+		// Sweep makes an independent copy: s.cur mutates in place later.
+		s.best = s.cur.Sweep()
+	}
+}
+
+func (s *Session) releaseArenas() {
+	if s.careArena != nil {
+		s.careArena.Release()
+		s.careArena = nil
+	}
+	if s.evalArena != nil {
+		s.evalArena.Release()
+		s.evalArena = nil
+	}
+}
+
+func allFalse(mask []bool, n int) []bool {
+	if cap(mask) < n {
+		return make([]bool, n)
+	}
+	mask = mask[:n]
+	for i := range mask {
+		mask[i] = false
+	}
+	return mask
+}
+
 func (s *Session) record(rec IterRecord) {
 	s.history = append(s.history, rec)
 }
 
 func (s *Session) finish(reason string) Event {
+	// Commits since the last optimize boundary have not had their shot at
+	// the best snapshot yet: flush them through the optimizer, unless the
+	// working graph is over budget (ReasonBudget) and must not be recorded.
+	if s.inc && !s.opts.SkipOptimize && s.sinceOpt > 0 && s.curErr <= s.opts.Threshold {
+		s.flushOptimize()
+	}
 	s.done = true
 	s.reason = reason
+	// A finished session never steps again; return the arenas' buffers to
+	// the pools (Result only needs the best snapshot and the evaluator).
+	s.releaseArenas()
 	return s.doneEvent()
 }
 
@@ -293,7 +513,10 @@ func (s *Session) History() []IterRecord { return s.history }
 // Result finalizes the session outcome: the smallest circuit observed and
 // its measured error on the evaluation pattern set. It may be called on a
 // live session (e.g. after a deadline) for the best-so-far result; the
-// session can keep stepping afterwards.
+// session can keep stepping afterwards. (On the incremental path "observed"
+// means at the optimize boundaries — the best snapshot is always a fully
+// optimized circuit; a live mid-batch call can lag the working graph by up
+// to optEvery commits.)
 func (s *Session) Result() Result {
 	if !s.finalOK || !s.done {
 		s.finalErr = s.ev.EvalGraph(s.best, s.evalPats)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/aig"
 	"repro/internal/aiger"
 	"repro/internal/errest"
+	"repro/internal/sim"
 )
 
 // graphBytes serializes a graph to ASCII AIGER for bitwise comparison.
@@ -76,7 +77,10 @@ func TestSessionSnapshotRestoreDeterministic(t *testing.T) {
 		opts := sessionOpts(metric)
 		want := Run(g, opts)
 
-		for _, kill := range []int{0, 1, 3, 7} {
+		// 9 and 12 land past the first optEvery boundary, so the restored
+		// session must also reproduce the optimizer flush and the arena
+		// rebinds that follow it.
+		for _, kill := range []int{0, 1, 3, 7, 9, 12, 20} {
 			s := NewSession(g, opts)
 			for i := 0; i < kill && !s.Done(); i++ {
 				if _, err := s.Step(context.Background()); err != nil {
@@ -118,6 +122,66 @@ func TestSessionSnapshotRestoreDeterministic(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestRestoreRebuildsArenaBitIdentical: the checkpoint does not serialize the
+// simulation arenas — Restore rebuilds them from the stored graph and care
+// seed. This test pins the property that rebuild relies on: the from-scratch
+// arena words equal the incrementally maintained ones bit for bit. A killed
+// session and its restored twin each take one more step; afterwards every
+// live node's pattern words in both arenas must match exactly.
+func TestRestoreRebuildsArenaBitIdentical(t *testing.T) {
+	g := rippleAdder(8)
+	opts := sessionOpts(errest.NMED)
+	s := NewSession(g, opts)
+	if !s.inc {
+		t.Fatal("session did not take the incremental path")
+	}
+	for i := 0; i < 5 && !s.Done(); i++ {
+		if _, err := s.Step(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ckpt bytes.Buffer
+	if err := s.Snapshot(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&ckpt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Done() != r.Done() {
+		t.Fatalf("killed session done=%v, restored done=%v", s.Done(), r.Done())
+	}
+	if s.Done() {
+		t.Skip("session finished before the arenas could be compared")
+	}
+	compare := func(name string, a, b *sim.Arena) {
+		t.Helper()
+		if (a == nil) != (b == nil) {
+			t.Fatalf("%s arena: original %v, restored %v", name, a != nil, b != nil)
+		}
+		if a == nil {
+			return
+		}
+		va, vb := a.Vectors(), b.Vectors()
+		for n := aig.Node(0); int(n) < s.cur.NumNodes(); n++ {
+			if s.cur.Kind(n) == aig.KindDead {
+				continue
+			}
+			if !reflect.DeepEqual(va.Node(n), vb.Node(n)) {
+				t.Fatalf("%s arena: node %d words differ after restore", name, n)
+			}
+		}
+	}
+	compare("care", s.careArena, r.careArena)
+	compare("eval", s.evalArena, r.evalArena)
 }
 
 // TestSessionSnapshotOfFinishedSession: a terminal session round-trips too

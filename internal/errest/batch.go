@@ -31,12 +31,15 @@ type Batch struct {
 	vecs  *sim.Vectors
 	resim *sim.Resimulator
 
-	cur     [][]uint64 // current circuit PO words Y (read-only after construction)
-	flipped [][]uint64 // PO words Y' with the prepared node complemented
-	flipBuf []uint64
+	cur      [][]uint64 // current circuit PO words Y (read-only after construction)
+	curFlat  []uint64   // backing of cur, one pooled block
+	flipped  [][]uint64 // PO words Y' with the prepared node complemented
+	flipFlat []uint64   // backing of flipped
+	flipBuf  []uint64
 
 	prepared aig.Node
 	isFork   bool
+	borrowed bool // vecs owned by the caller, not released here
 }
 
 // NewBatch simulates the current circuit g on patterns p and prepares batch
@@ -49,17 +52,31 @@ func NewBatch(ev *Evaluator, g *aig.Graph, p *sim.Patterns) *Batch {
 // NewBatchWorkers is NewBatch with the base simulation sharded over the
 // given number of worker goroutines (0 = GOMAXPROCS).
 func NewBatchWorkers(ev *Evaluator, g *aig.Graph, p *sim.Patterns, workers int) *Batch {
-	vecs := sim.SimulateWorkers(g, p, workers)
+	return newBatch(ev, g, sim.SimulateWorkers(g, p, workers), false)
+}
+
+// NewBatchVecs prepares batch estimation on top of an existing simulation
+// of g — typically a persistent sim.Arena kept incrementally up to date
+// across flow iterations, which turns the full-circuit resimulation that
+// NewBatchWorkers performs on every ranking round into a no-op. The vectors
+// stay owned by the caller: Release leaves them untouched, and they must
+// outlive the batch and every fork.
+func NewBatchVecs(ev *Evaluator, g *aig.Graph, vecs *sim.Vectors) *Batch {
+	return newBatch(ev, g, vecs, true)
+}
+
+func newBatch(ev *Evaluator, g *aig.Graph, vecs *sim.Vectors, borrowed bool) *Batch {
 	b := &Batch{
 		Eval:     ev,
 		g:        g,
 		vecs:     vecs,
 		resim:    sim.NewResimulator(g, vecs),
-		cur:      allocPO(g.NumPOs(), p.Words),
-		flipped:  allocPO(g.NumPOs(), p.Words),
-		flipBuf:  wordops.Get(p.Words),
 		prepared: -1,
+		borrowed: borrowed,
 	}
+	b.cur, b.curFlat = allocPO(g.NumPOs(), vecs.Words)
+	b.flipped, b.flipFlat = allocPO(g.NumPOs(), vecs.Words)
+	b.flipBuf = wordops.Get(vecs.Words)
 	for i := range b.cur {
 		vecs.LitInto(g.PO(i), b.cur[i])
 	}
@@ -71,17 +88,18 @@ func NewBatchWorkers(ev *Evaluator, g *aig.Graph, p *sim.Patterns, workers int) 
 // can rank candidates on another goroutine concurrently with b. Forks must
 // be released before the root batch.
 func (b *Batch) Fork() *Batch {
-	return &Batch{
+	f := &Batch{
 		Eval:     b.Eval,
 		g:        b.g,
 		vecs:     b.vecs,
 		resim:    b.resim.Fork(),
 		cur:      b.cur,
-		flipped:  allocPO(b.g.NumPOs(), b.vecs.Words),
 		flipBuf:  wordops.Get(b.vecs.Words),
 		prepared: -1,
 		isFork:   true,
 	}
+	f.flipped, f.flipFlat = allocPO(b.g.NumPOs(), b.vecs.Words)
+	return f
 }
 
 // Release returns the batch's buffers to the shared word pool. A fork
@@ -90,30 +108,34 @@ func (b *Batch) Fork() *Batch {
 // used afterwards.
 func (b *Batch) Release() {
 	b.resim.Release()
-	releasePO(b.flipped)
+	releasePO(b.flipped, b.flipFlat)
 	wordops.Put(b.flipBuf)
-	b.flipped, b.flipBuf = nil, nil
+	b.flipped, b.flipFlat, b.flipBuf = nil, nil, nil
 	if !b.isFork {
-		releasePO(b.cur)
-		b.cur = nil
-		b.vecs.Release()
+		releasePO(b.cur, b.curFlat)
+		b.cur, b.curFlat = nil, nil
+		if !b.borrowed {
+			b.vecs.Release()
+		}
 	}
 	b.vecs = nil
 }
 
-func allocPO(n, words int) [][]uint64 {
-	out := wordops.GetVecsZero(n)
-	for i := range out {
-		out[i] = wordops.Get(words)
+// allocPO carves n PO rows of `words` words each out of a single pooled
+// block — one pool round-trip instead of n+1, which keeps Fork cheap enough
+// that multi-worker ranking amortizes on small circuits.
+func allocPO(n, words int) (rows [][]uint64, flat []uint64) {
+	rows = wordops.GetVecsZero(n)
+	flat = wordops.Get(n * words)
+	for i := range rows {
+		rows[i] = flat[i*words : (i+1)*words]
 	}
-	return out
+	return rows, flat
 }
 
-func releasePO(po [][]uint64) {
-	for _, w := range po {
-		wordops.Put(w)
-	}
-	wordops.PutVecs(po)
+func releasePO(rows [][]uint64, flat []uint64) {
+	wordops.Put(flat)
+	wordops.PutVecs(rows)
 }
 
 // Vectors returns the node value vectors of the current circuit on the

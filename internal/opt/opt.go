@@ -6,6 +6,8 @@
 package opt
 
 import (
+	"sync"
+
 	"repro/internal/aig"
 	"repro/internal/cut"
 	"repro/internal/tt"
@@ -200,6 +202,40 @@ func coneFreed(g *aig.Graph, n aig.Node, leaves []aig.Node, refs []int32) int {
 // cheaperCover returns the ISOP of tab or of its complement, whichever
 // needs fewer AND nodes, along with whether the output must be inverted.
 func cheaperCover(tab tt.Table) (tt.Cover, bool) {
+	n := tab.NumVars()
+	if n <= coverMemoMaxVars {
+		key := uint32(n)<<16 | uint32(tab.Words()[0]&(1<<(1<<uint(n))-1))
+		if e, ok := coverMemo.Load(key); ok {
+			ent := e.(coverMemoEntry)
+			return ent.cov, ent.compl
+		}
+		cov, compl := cheaperCoverUncached(tab)
+		coverMemo.Store(key, coverMemoEntry{cov: cov, compl: compl})
+		return cov, compl
+	}
+	return cheaperCoverUncached(tab)
+}
+
+// coverMemoMaxVars bounds the memo key space: cut enumeration uses K=4, so
+// every table Rewrite sees fits in 16 truth-table bits, and the cache tops
+// out at 4·2^16 entries. The two ISOP runs per call dominate both the CPU
+// and the allocation profile of the whole ALSRAC flow (the same handful of
+// small functions recurs across cuts, iterations and circuits), so a
+// process-wide memo turns the optimize cadence from the flow's hot spot
+// into a table lookup.
+const coverMemoMaxVars = 4
+
+type coverMemoEntry struct {
+	cov   tt.Cover
+	compl bool
+}
+
+// coverMemo caches cheaperCover results by (vars, truth bits). Covers are
+// treated as immutable by every consumer (buildCover only reads), so
+// sharing one Cover value across goroutines and calls is safe.
+var coverMemo sync.Map
+
+func cheaperCoverUncached(tab tt.Table) (tt.Cover, bool) {
 	n := tab.NumVars()
 	on := tt.ISOP(tab, tt.New(n))
 	off := tt.ISOP(tab.Not(), tt.New(n))

@@ -199,6 +199,20 @@ func (l *LAC) Apply(g *aig.Graph) *aig.Graph {
 	return g.CopyWith(map[aig.Node]aig.Lit{l.Node: lit})
 }
 
+// ApplyInPlace commits the LAC into g itself: the replacement cover is
+// materialized over the divisors and every reference to Node is rewired
+// with ReplaceNode, which preserves the ids of untouched logic and frees
+// the change's MFFC for slot recycling. Cover terms that strash-fold during
+// construction can strand scratch nodes; the trailing garbage sweep frees
+// them, so the live-node set matches Apply's swept result. When touched is
+// non-nil it accumulates every node whose structure or reference count
+// changed — together with an epoch snapshot taken before this call it seeds
+// Graph.StaleClosure, the invalidation mask GenerateReuse consumes.
+func (l *LAC) ApplyInPlace(g *aig.Graph, touched *[]aig.Node) {
+	g.ReplaceNode(l.Node, l.BuildLit(g), touched)
+	g.CollectGarbage(touched)
+}
+
 // EvalVec evaluates the LAC's new function on the divisor value vectors,
 // writing the node's replacement vector into out. Plain divisors alias the
 // value vectors directly and complemented ones use pooled scratch, so
@@ -242,16 +256,80 @@ func Generate(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config) []LAC {
 // and per-chunk outputs are concatenated in node order, so the candidate
 // list is identical to the sequential scan for every worker count.
 func GenerateWorkers(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, workers int) []LAC {
-	levels := g.Levels()
-	order, lstart := g.LevelOrder(levels)
-	refs := g.RefCounts()
-
 	var ands []aig.Node
 	for v := aig.Node(1); int(v) < g.NumNodes(); v++ {
 		if g.IsAnd(v) {
 			ands = append(ands, v)
 		}
 	}
+	return generateOver(g, vecs, valid, cfg, workers, ands)
+}
+
+// GenerateReuse is GenerateWorkers with cross-iteration candidate reuse:
+// cached holds the previous iteration's candidate list (sorted by node id,
+// as Generate* return it) and stale flags the nodes whose candidates may
+// have changed. Candidates of live unstale nodes are copied from the cache
+// verbatim; only stale nodes are rescanned. The result is identical to a
+// full GenerateWorkers run, because a node's candidates depend only on its
+// TFI cone — structure, logic levels, value words — and on the reference
+// counts inside it (via the MFFC gain), all of which a correct stale mask
+// covers by construction (see core's dirty-TFO closure).
+//
+// Nodes at or beyond len(stale) are treated as stale (freshly grown slots).
+// A nil stale mask or nil cache degrades to a full scan.
+func GenerateReuse(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, workers int,
+	stale []bool, cached []LAC) []LAC {
+
+	if stale == nil || cached == nil {
+		return GenerateWorkers(g, vecs, valid, cfg, workers)
+	}
+	isStale := func(v aig.Node) bool {
+		return int(v) >= len(stale) || stale[v]
+	}
+	var ands, rescan []aig.Node
+	for v := aig.Node(1); int(v) < g.NumNodes(); v++ {
+		if !g.IsAnd(v) {
+			continue
+		}
+		ands = append(ands, v)
+		if isStale(v) {
+			rescan = append(rescan, v)
+		}
+	}
+	fresh := generateOver(g, vecs, valid, cfg, workers, rescan)
+
+	// Merge in node order: cached entries for live unstale nodes, fresh
+	// entries for rescanned ones. Cache entries of dead or stale nodes are
+	// dropped on the floor.
+	out := make([]LAC, 0, len(cached)+len(fresh))
+	ci, fi := 0, 0
+	for _, v := range ands {
+		for ci < len(cached) && cached[ci].Node < v {
+			ci++
+		}
+		if isStale(v) {
+			for fi < len(fresh) && fresh[fi].Node == v {
+				out = append(out, fresh[fi])
+				fi++
+			}
+			continue
+		}
+		for ci < len(cached) && cached[ci].Node == v {
+			out = append(out, cached[ci])
+			ci++
+		}
+	}
+	return out
+}
+
+// generateOver runs the per-node candidate scan of Algorithm 2 over an
+// explicit, ascending list of AND nodes.
+func generateOver(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, workers int,
+	ands []aig.Node) []LAC {
+
+	levels := g.Levels()
+	order, lstart := g.LevelOrder(levels)
+	refs := g.RefCounts()
 	workers = sim.Workers(workers, len(ands))
 	if workers <= 1 {
 		st := newGenState(g, vecs, valid, cfg, levels, order, lstart, refs)

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"repro/internal/aig"
+	"repro/internal/wordops"
+)
+
+// Arena is a persistent simulation state that tracks a graph across in-place
+// mutations (aig.Graph.ReplaceNode). Where SimulateWorkers recomputes every
+// node vector from scratch, Arena.Update re-evaluates only the slots whose
+// epoch moved since the last sync plus the transitive fanout that actually
+// changes value — the dirty-TFO slice of a committed LAC instead of the
+// whole circuit.
+//
+// The result is bitwise identical to a fresh SimulateWorkers run on the
+// mutated graph for every live node, for any worker count: word columns are
+// independent, evaluation follows ascending node ids (the graph's
+// topological order), and propagation prunes a fanout only when the fused
+// AndDiff kernel proves the node's words did not change — in which case the
+// fanout's inputs are bit-identical to the from-scratch run's.
+type Arena struct {
+	g       *aig.Graph
+	p       *Patterns
+	workers int
+	vecs    *Vectors
+	epochs  []uint32 // graph epochs at last sync
+
+	// Update scratch, reused across calls so steady-state updates allocate
+	// nothing once grown to the graph size.
+	heap    []int32
+	inHeap  []bool
+	foStart []int32
+	foList  []int32
+	foFill  []int32
+}
+
+// NewArena builds an arena bound to g and p and fully simulates it (with
+// the given worker count, 0 = GOMAXPROCS). The pattern input count must
+// match g.NumPIs().
+func NewArena(g *aig.Graph, p *Patterns, workers int) *Arena {
+	a := &Arena{workers: workers}
+	a.Rebind(g, p)
+	return a
+}
+
+// Rebind points the arena at a (possibly different) graph and pattern set
+// and re-simulates from scratch. Sessions use this after a structural
+// optimization pass replaced the graph object, and when the care patterns
+// are rerolled.
+func (a *Arena) Rebind(g *aig.Graph, p *Patterns) {
+	a.vecs.Release()
+	a.g, a.p = g, p
+	a.vecs = SimulateWorkers(g, p, a.workers)
+	a.syncEpochs()
+}
+
+// Vectors returns the arena's value vectors. The returned object is owned
+// by the arena: it is updated in place by Update and freed by Release.
+func (a *Arena) Vectors() *Vectors { return a.vecs }
+
+// Patterns returns the pattern set the arena is bound to.
+func (a *Arena) Patterns() *Patterns { return a.p }
+
+// Release returns the arena's vectors to the shared pool. The arena must
+// not be used afterwards.
+func (a *Arena) Release() {
+	a.vecs.Release()
+	a.vecs = nil
+}
+
+// Update incrementally re-simulates after in-place mutations of the bound
+// graph, and returns the number of AND evaluations performed. Every slot
+// whose epoch moved since the last Update (created, recycled or freed by
+// ReplaceNode) is re-evaluated, and changes propagate through the current
+// fanout structure in ascending node-id order; fanouts of a node whose
+// value words came out unchanged are pruned. After Update, Vectors holds
+// bitwise the same words a from-scratch SimulateWorkers run would for every
+// live node.
+//
+//alsrac:alloc-ok scratch slices grow to the graph size once and are reused
+func (a *Arena) Update() int {
+	g := a.g
+	n := g.NumNodes()
+	a.vecs.EnsureNodes(n)
+	for len(a.epochs) < n {
+		a.epochs = append(a.epochs, 0)
+	}
+
+	// Seed the heap with every epoch-dirty live AND node. Recycled slots
+	// hold stale value words from their previous occupant; their fanouts are
+	// necessarily also epoch-dirty (an old node cannot reference a slot that
+	// was dead when it was built), so even a coincidental AndDiff match on
+	// garbage cannot mask a needed downstream update.
+	// inHeap is all-false between Updates (every push is matched by a pop
+	// that clears the flag), so growing without clearing is safe.
+	a.heap = a.heap[:0]
+	a.inHeap = growBools(a.inHeap, n)
+	dirty := false
+	for i := 0; i < n; i++ {
+		if a.epochs[i] != g.Epoch(aig.Node(i)) {
+			dirty = true
+			if g.IsAnd(aig.Node(i)) {
+				a.push(int32(i))
+			}
+		}
+	}
+	if !dirty {
+		return 0
+	}
+	a.buildFanouts()
+
+	evals := 0
+	vecs := a.vecs
+	for len(a.heap) > 0 {
+		m := a.popMin()
+		node := aig.Node(m)
+		if !g.IsAnd(node) {
+			continue
+		}
+		f0, f1 := g.Fanin0(node), g.Fanin1(node)
+		changed := wordops.AndDiff(vecs.Node(node),
+			vecs.Node(f0.Node()), vecs.Node(f1.Node()),
+			f0.IsCompl(), f1.IsCompl())
+		evals++
+		if changed || a.epochs[m] != g.Epoch(node) {
+			for _, fo := range a.foList[a.foStart[m]:a.foStart[m+1]] {
+				a.push(fo)
+			}
+		}
+	}
+	a.syncEpochs()
+	return evals
+}
+
+func (a *Arena) syncEpochs() {
+	g := a.g
+	n := g.NumNodes()
+	if cap(a.epochs) < n {
+		a.epochs = make([]uint32, n)
+	}
+	a.epochs = a.epochs[:n]
+	for i := range a.epochs {
+		a.epochs[i] = g.Epoch(aig.Node(i))
+	}
+}
+
+// buildFanouts computes the CSR fanout adjacency of the bound graph into
+// the arena's scratch.
+//
+//alsrac:hotpath
+func (a *Arena) buildFanouts() {
+	g := a.g
+	n := g.NumNodes()
+	a.foStart = growI32Clear(a.foStart, n+1)
+	for m := aig.Node(1); int(m) < n; m++ {
+		if !g.IsAnd(m) {
+			continue
+		}
+		a.foStart[g.Fanin0(m).Node()+1]++
+		a.foStart[g.Fanin1(m).Node()+1]++
+	}
+	for i := 1; i <= n; i++ {
+		a.foStart[i] += a.foStart[i-1]
+	}
+	a.foList = growI32(a.foList, int(a.foStart[n]))
+	a.foFill = growI32(a.foFill, n)
+	copy(a.foFill, a.foStart[:n])
+	for m := aig.Node(1); int(m) < n; m++ {
+		if !g.IsAnd(m) {
+			continue
+		}
+		for _, f := range [2]aig.Node{g.Fanin0(m).Node(), g.Fanin1(m).Node()} {
+			a.foList[a.foFill[f]] = int32(m)
+			a.foFill[f]++
+		}
+	}
+}
+
+// push adds node m to the min-heap unless already queued.
+//
+//alsrac:hotpath
+func (a *Arena) push(m int32) {
+	if a.inHeap[m] {
+		return
+	}
+	a.inHeap[m] = true
+	a.heap = append(a.heap, m)
+	for i := len(a.heap) - 1; i > 0; {
+		p := (i - 1) / 2
+		if a.heap[p] <= a.heap[i] {
+			break
+		}
+		a.heap[p], a.heap[i] = a.heap[i], a.heap[p]
+		i = p
+	}
+}
+
+//alsrac:hotpath
+func (a *Arena) popMin() int32 {
+	m := a.heap[0]
+	last := len(a.heap) - 1
+	a.heap[0] = a.heap[last]
+	a.heap = a.heap[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && a.heap[l] < a.heap[small] {
+			small = l
+		}
+		if r < last && a.heap[r] < a.heap[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		a.heap[i], a.heap[small] = a.heap[small], a.heap[i]
+		i = small
+	}
+	a.inHeap[m] = false
+	return m
+}
+
+// EnsureNodes grows the vector storage to hold at least `nodes` node
+// vectors, preserving existing contents. Newly covered slots hold arbitrary
+// words until written.
+func (v *Vectors) EnsureNodes(nodes int) {
+	need := nodes * v.Words
+	if len(v.flat) >= need {
+		return
+	}
+	nf := wordops.Get(need)
+	copy(nf, v.flat)
+	wordops.Put(v.flat)
+	v.flat = nf
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI32Clear(s []int32, n int) []int32 {
+	s = growI32(s, n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}

@@ -1,0 +1,176 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/sim"
+)
+
+func randomGraph(rng *rand.Rand, nPIs, size int) *aig.Graph {
+	g := aig.New()
+	lits := g.AddPIs(nPIs, "x")
+	for len(lits) < nPIs+size {
+		a := lits[rng.Intn(len(lits))].NotCond(rng.Intn(2) == 0)
+		b := lits[rng.Intn(len(lits))].NotCond(rng.Intn(2) == 0)
+		if rng.Intn(2) == 0 {
+			lits = append(lits, g.And(a, b))
+		} else {
+			lits = append(lits, g.Xor(a, b))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		g.AddPO(lits[len(lits)-1-i].NotCond(i%2 == 0), "")
+	}
+	return g.Sweep()
+}
+
+func randomReplacement(rng *rand.Rand, g *aig.Graph, v aig.Node) aig.Lit {
+	if rng.Intn(8) == 0 {
+		return aig.LitFalse
+	}
+	pick := func() aig.Lit {
+		n := aig.Node(rng.Intn(int(v)))
+		for g.Kind(n) == aig.KindDead {
+			n--
+		}
+		return aig.MakeLit(n, rng.Intn(2) == 0)
+	}
+	return g.And(pick(), pick())
+}
+
+func liveAnds(g *aig.Graph) []aig.Node {
+	var out []aig.Node
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if g.IsAnd(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// TestArenaMatchesFullSimulation is the tentpole bit-identity property:
+// random in-place replacement sequences, with an Arena.Update after each
+// commit, must leave every live node's value words bitwise identical to a
+// from-scratch SimulateWorkers run on the mutated graph — for every worker
+// count, at every step.
+func TestArenaMatchesFullSimulation(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed*31 + int64(workers)))
+			g := randomGraph(rng, 8, 70)
+			pats := sim.Uniform(g.NumPIs(), 4, seed+500)
+			arena := sim.NewArena(g, pats, workers)
+			for step := 0; step < 25; step++ {
+				ands := liveAnds(g)
+				if len(ands) == 0 {
+					break
+				}
+				v := ands[rng.Intn(len(ands))]
+				g.ReplaceNode(v, randomReplacement(rng, g, v), nil)
+				arena.Update()
+
+				ref := sim.SimulateWorkers(g, pats, workers)
+				got := arena.Vectors()
+				for n := aig.Node(0); int(n) < g.NumNodes(); n++ {
+					if g.Kind(n) == aig.KindDead {
+						continue
+					}
+					gw, rw := got.Node(n), ref.Node(n)
+					for w := range rw {
+						if gw[w] != rw[w] {
+							t.Fatalf("workers %d seed %d step %d: node %d word %d: arena %x, full sim %x",
+								workers, seed, step, n, w, gw[w], rw[w])
+						}
+					}
+				}
+				ref.Release()
+			}
+			arena.Release()
+		}
+	}
+}
+
+// TestArenaUpdateIsIncremental pins that Update actually prunes: a
+// replacement near the outputs of a deep chain must re-evaluate far fewer
+// nodes than the graph holds.
+func TestArenaUpdateIsIncremental(t *testing.T) {
+	g := aig.New()
+	in := g.AddPIs(4, "x")
+	// A long chain with a small side branch near the top.
+	l := in[0]
+	for i := 0; i < 200; i++ {
+		l = g.Xor(l, in[1+i%3])
+	}
+	side := g.And(in[1], in[2])
+	top := g.And(l, side)
+	g.AddPO(top, "y")
+	g.AddPO(l, "chain")
+	g = g.Sweep()
+
+	pats := sim.Uniform(g.NumPIs(), 4, 1)
+	arena := sim.NewArena(g, pats, 1)
+	defer arena.Release()
+
+	// Replace the side branch: only a handful of nodes sit in its TFO.
+	var target aig.Node
+	for n := aig.Node(1); int(n) < g.NumNodes(); n++ {
+		if g.IsAnd(n) && g.Fanin0(n) == in[1] && g.Fanin1(n) == in[2] {
+			target = n
+			break
+		}
+	}
+	if target == 0 {
+		t.Fatal("side branch not found")
+	}
+	g.ReplaceNode(target, g.And(in[2], in[3]), nil)
+	evals := arena.Update()
+	if evals == 0 || evals > 10 {
+		t.Fatalf("Update evaluated %d nodes for a 2-node TFO change in a %d-node graph",
+			evals, g.NumAnds())
+	}
+	ref := sim.Simulate(g, pats)
+	defer ref.Release()
+	for n := aig.Node(0); int(n) < g.NumNodes(); n++ {
+		if g.Kind(n) == aig.KindDead {
+			continue
+		}
+		gw, rw := arena.Vectors().Node(n), ref.Node(n)
+		for w := range rw {
+			if gw[w] != rw[w] {
+				t.Fatalf("node %d word %d differs after pruned update", n, w)
+			}
+		}
+	}
+}
+
+// TestArenaRebind pins that rerolling the patterns (and swapping the graph
+// object) resets the arena to a full simulation of the new binding.
+func TestArenaRebind(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 6, 40)
+	p1 := sim.Uniform(g.NumPIs(), 2, 10)
+	arena := sim.NewArena(g, p1, 2)
+	defer arena.Release()
+
+	g2 := g.Sweep()
+	p2 := sim.Uniform(g2.NumPIs(), 3, 11)
+	arena.Rebind(g2, p2)
+	ref := sim.SimulateWorkers(g2, p2, 2)
+	defer ref.Release()
+	for n := aig.Node(0); int(n) < g2.NumNodes(); n++ {
+		if g2.Kind(n) == aig.KindDead {
+			continue
+		}
+		gw, rw := arena.Vectors().Node(n), ref.Node(n)
+		for w := range rw {
+			if gw[w] != rw[w] {
+				t.Fatalf("node %d word %d differs after rebind", n, w)
+			}
+		}
+	}
+	if arena.Patterns() != p2 {
+		t.Fatal("arena not bound to the new patterns")
+	}
+}

@@ -76,6 +76,30 @@ func And(dst, a, b []uint64, c0, c1 bool) {
 	}
 }
 
+// AndDiff is the incremental-resimulation kernel: it computes the same
+// four-polarity conjunction as And, writes it into dst, and reports whether
+// any word of dst actually changed. Fusing the write with the comparison
+// lets the dirty-TFO propagation decide in one pass over the words whether
+// a node's fanouts need re-evaluation. All slices must have the same length.
+//
+//alsrac:hotpath
+func AndDiff(dst, a, b []uint64, c0, c1 bool) bool {
+	var m0, m1 uint64
+	if c0 {
+		m0 = ^uint64(0)
+	}
+	if c1 {
+		m1 = ^uint64(0)
+	}
+	var diff uint64
+	for i := range dst {
+		w := (a[i] ^ m0) & (b[i] ^ m1)
+		diff |= w ^ dst[i]
+		dst[i] = w
+	}
+	return diff != 0
+}
+
 // SelectFlip is the batch-estimation merge kernel: on the bit positions
 // where old and new differ the output takes the flipped value yf, elsewhere
 // the current value y. All slices must have the same length.

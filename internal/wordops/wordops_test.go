@@ -62,6 +62,26 @@ func TestKernels(t *testing.T) {
 		}
 	}
 
+	for _, c0 := range []bool{false, true} {
+		for _, c1 := range []bool{false, true} {
+			And(dst, a, b, c0, c1)
+			cp := append([]uint64(nil), dst...)
+			if AndDiff(dst, a, b, c0, c1) {
+				t.Fatalf("AndDiff(c0=%v, c1=%v) reported a change on identical input", c0, c1)
+			}
+			if !Equal(dst, cp) {
+				t.Fatalf("AndDiff(c0=%v, c1=%v) result differs from And", c0, c1)
+			}
+			dst[3] ^= 1 << 17
+			if !AndDiff(dst, a, b, c0, c1) {
+				t.Fatalf("AndDiff(c0=%v, c1=%v) missed a changed word", c0, c1)
+			}
+			if !Equal(dst, cp) {
+				t.Fatalf("AndDiff(c0=%v, c1=%v) did not rewrite the changed word", c0, c1)
+			}
+		}
+	}
+
 	y := randWords(rng, 9)
 	yf := randWords(rng, 9)
 	old := randWords(rng, 9)

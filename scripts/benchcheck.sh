@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# benchcheck.sh — benchmark-regression gate. Compares a freshly recorded
+# bench JSON (scripts/bench.sh output) against the best prior BENCH_*.json
+# baselines and fails when any shared benchmark regressed by more than the
+# threshold in ns/op or allocs/op.
+#
+# Usage: scripts/benchcheck.sh NEW.json [BASELINE.json ...]
+#   With no explicit baselines, every BENCH_*.json in the repo root except
+#   NEW.json is used; the per-benchmark baseline is the minimum across them.
+#   Benchmarks present only in NEW.json are reported informationally.
+#
+# BENCHCHECK_THRESHOLD_PCT overrides the allowed regression (default 10).
+# BENCHCHECK_SKIP is an optional awk regex of benchmark names to exclude —
+# for benchmarks whose historical baseline is stale by design (e.g. a later
+# change deliberately traded that benchmark's speed for durability).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: scripts/benchcheck.sh NEW.json [BASELINE.json ...]" >&2
+    exit 2
+fi
+new="$1"
+shift
+[[ -f "$new" ]] || { echo "benchcheck: $new not found" >&2; exit 2; }
+
+baselines=("$@")
+if [[ ${#baselines[@]} -eq 0 ]]; then
+    for f in BENCH_*.json; do
+        [[ -f "$f" && "$f" != "$(basename "$new")" ]] && baselines+=("$f")
+    done
+fi
+if [[ ${#baselines[@]} -eq 0 ]]; then
+    echo "benchcheck: no baselines found; nothing to gate against"
+    exit 0
+fi
+
+threshold="${BENCHCHECK_THRESHOLD_PCT:-10}"
+skip="${BENCHCHECK_SKIP:-}"
+echo "benchcheck: $new vs best of: ${baselines[*]} (threshold ${threshold}%)"
+[[ -n "$skip" ]] && echo "benchcheck: skipping /${skip}/"
+
+# The JSON is bench.sh's own one-benchmark-per-line format; extract
+# name/ns/allocs triples with awk rather than requiring a JSON tool.
+extract() {
+    awk -F'"' '
+/"ns_per_op"/ {
+    name = $2
+    line = $0
+    ns = line; sub(/.*"ns_per_op": */, "", ns); sub(/[,}].*/, "", ns)
+    al = line; sub(/.*"allocs_per_op": */, "", al); sub(/[,}].*/, "", al)
+    print name, ns, al
+}' "$1"
+}
+
+tmp_new="$(mktemp)"
+tmp_base="$(mktemp)"
+trap 'rm -f "$tmp_new" "$tmp_base"' EXIT
+extract "$new" > "$tmp_new"
+for f in "${baselines[@]}"; do extract "$f"; done > "$tmp_base"
+
+awk -v thr="$threshold" -v skip="$skip" '
+NR == FNR {
+    # Baselines: keep the best (minimum) prior value per benchmark.
+    if (!($1 in bns) || $2 + 0 < bns[$1]) bns[$1] = $2 + 0
+    if (!($1 in bal) || $3 + 0 < bal[$1]) bal[$1] = $3 + 0
+    next
+}
+{
+    name = $1; ns = $2 + 0; al = $3 + 0
+    if (skip != "" && name ~ skip) {
+        printf "  skip  %-45s %12.0f ns/op %10d allocs/op\n", name, ns, al
+        next
+    }
+    if (!(name in bns)) {
+        printf "  new   %-45s %12.0f ns/op %10d allocs/op (no baseline)\n", name, ns, al
+        next
+    }
+    nsLim = bns[name] * (1 + thr / 100)
+    alLim = bal[name] * (1 + thr / 100)
+    status = "ok"
+    if (ns > nsLim) { status = "FAIL ns/op"; failed = 1 }
+    else if (al > alLim) { status = "FAIL allocs/op"; failed = 1 }
+    printf "  %-5s %-45s %12.0f ns/op (best %12.0f) %10d allocs/op (best %10d)\n", \
+        status == "ok" ? "ok" : "FAIL", name, ns, bns[name], al, bal[name]
+    if (status != "ok")
+        printf "        ^ %s regressed beyond %s%% over the best baseline\n", name, thr
+}
+END { exit failed ? 1 : 0 }
+' "$tmp_base" "$tmp_new" || { echo "benchcheck: regression detected"; exit 1; }
+
+echo "benchcheck: no regressions"
