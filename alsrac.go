@@ -207,6 +207,13 @@ func MeasureErrorOnPatterns(ref, approx *Circuit, metric Metric, p *Patterns) fl
 // or nil when unknown.
 func Benchmark(name string) *Circuit { return bench.Get(name) }
 
+// MACTree builds a member of the scalable multiply-accumulate benchmark
+// family: units independent width-bit multipliers summed by a balanced adder
+// tree, deterministic from the seed. Large members (MACTree(2048, 8, 1) is
+// over a million AND nodes) exercise windowed resubstitution at a scale the
+// named benchmarks never reach.
+func MACTree(units, width int, seed int64) *Circuit { return bench.MACTree(units, width, seed) }
+
 // Benchmarks lists the available benchmark names.
 func Benchmarks() []string {
 	var names []string

@@ -40,6 +40,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines for simulation, LAC generation and ranking (0 = all CPUs; results are identical for any value)")
 		timeout   = flag.Duration("timeout", 0, "stop after this long and keep the best result so far (0 = no limit)")
 		verbose   = flag.Bool("v", false, "log flow progress")
+
+		windowed    = flag.Bool("window", false, "windowed resubstitution: score LACs on bounded reconvergence-driven windows instead of full TFI cones (scales to very large AIGs)")
+		winMaxPIs   = flag.Int("window-max-pis", 0, "max window inputs (0 = default, negative = unbounded)")
+		winMaxNodes = flag.Int("window-max-nodes", 0, "max window volume in AND nodes (0 = default, negative = unbounded)")
+		winMaxDivs  = flag.Int("window-max-divisors", 0, "max divisors per window (0 = default, negative = unbounded)")
+		winSkipRoot = flag.Int("window-skip-fanout-roots", 0, "skip roots with more fanouts than this (0 = default, negative = no skip)")
+		winSkipDivs = flag.Int("window-skip-fanout-divisors", 0, "drop divisors with more fanouts than this (0 = default, negative = no skip)")
 	)
 	flag.Parse()
 
@@ -72,6 +79,12 @@ func main() {
 	opts.Scale = *scale
 	opts.MaxDepthRatio = *maxDepth
 	opts.Workers = *workers
+	opts.Windowed = *windowed
+	opts.WindowMaxPIs = *winMaxPIs
+	opts.WindowMaxNodes = *winMaxNodes
+	opts.WindowMaxDivisors = *winMaxDivs
+	opts.WindowSkipFanoutRoots = *winSkipRoot
+	opts.WindowSkipFanoutDivisors = *winSkipDivs
 	if *verbose {
 		opts.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

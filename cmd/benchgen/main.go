@@ -5,6 +5,7 @@
 //
 //	benchgen -name rca32            # print rca32 to stdout
 //	benchgen -all -dir benchmarks/  # write every benchmark to a directory
+//	benchgen -family mac -units 2048 -width 8 -stats   # scalable family
 package main
 
 import (
@@ -22,10 +23,33 @@ func main() {
 		all  = flag.Bool("all", false, "emit every benchmark")
 		dir  = flag.String("dir", ".", "output directory for -all")
 		stat = flag.Bool("stats", false, "print size statistics instead of BLIF")
+
+		family = flag.String("family", "", "scalable family to emit (mac)")
+		units  = flag.Int("units", 64, "family size parameter (mac: multiplier count)")
+		width  = flag.Int("width", 8, "family operand width in bits")
+		seed   = flag.Int64("seed", 1, "family architecture seed (deterministic)")
 	)
 	flag.Parse()
 
 	switch {
+	case *family != "":
+		var g *alsrac.Circuit
+		switch *family {
+		case "mac":
+			if *units < 1 || *width < 1 {
+				fail("-family mac needs -units >= 1 and -width >= 1")
+			}
+			g = alsrac.MACTree(*units, *width, *seed)
+		default:
+			fail("unknown family %q (mac)", *family)
+		}
+		if *stat {
+			fmt.Println(g.String())
+			return
+		}
+		if err := alsrac.WriteBLIF(os.Stdout, g); err != nil {
+			fail("%v", err)
+		}
 	case *name != "":
 		g := alsrac.Benchmark(*name)
 		if g == nil {

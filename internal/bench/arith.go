@@ -143,12 +143,19 @@ func WallaceMult(n int) *aig.Graph {
 	g.Name = "wal" + itoa(n)
 	a := bus(g.AddPIs(n, "a"))
 	b := bus(g.AddPIs(n, "b"))
+	addPOs(g, wallaceBuses(g, a, b), "p")
+	return g
+}
 
-	w := 2 * n
+// wallaceBuses builds a Wallace-tree multiplier over two operand buses and
+// returns the len(a)+len(b)-bit product.
+func wallaceBuses(g *aig.Graph, a, b bus) bus {
+	n, m := len(a), len(b)
+	w := n + m
 	// cols[k] = bits of weight k awaiting compression.
 	cols := make([][]aig.Lit, w)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+		for j := 0; j < m; j++ {
 			cols[i+j] = append(cols[i+j], g.And(a[i], b[j]))
 		}
 	}
@@ -204,8 +211,7 @@ func WallaceMult(n int) *aig.Graph {
 		}
 	}
 	sum, _ := addBus(g, rowA, rowB, aig.LitFalse)
-	addPOs(g, sum[:w], "p")
-	return g
+	return sum[:w]
 }
 
 // Square builds an n-bit squarer (p = a·a): PIs a[n]; POs p[2n].

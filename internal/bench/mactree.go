@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/aig"
+)
+
+// MACTree builds a scalable multiply-accumulate forest: `units` independent
+// width-bit multipliers whose products are summed by a balanced binary adder
+// tree. It is the repo's synthetic million-node family — MACTree(2048, 8, 1)
+// exceeds 10^6 AND nodes — used to exercise windowed resubstitution at a
+// scale the Table III circuits never reach.
+//
+// The circuit is fully deterministic from (units, width, seed): the seed
+// drives only the per-unit multiplier architecture (row-ripple array vs
+// Wallace tree), giving the family structural variety without sacrificing
+// reproducibility. Two calls with equal parameters build bitwise-identical
+// graphs; the golden-hash test pins this.
+//
+// Interface: PIs a<u>[width], b<u>[width] for each unit u (unit u's operands
+// start at PI index u*2*width); POs s[outW] encode
+// sum(a<u> * b<u>) for all units, with outW wide enough to hold the exact
+// sum (2*width bits per product plus one bit per tree level).
+func MACTree(units, width int, seed int64) *aig.Graph {
+	if units < 1 || width < 1 {
+		panic("bench: MACTree needs units >= 1 and width >= 1")
+	}
+	g := aig.New()
+	g.Name = "mac" + itoa(units) + "x" + itoa(width)
+	rng := rand.New(rand.NewSource(seed))
+
+	prods := make([]bus, units)
+	for u := 0; u < units; u++ {
+		a := bus(g.AddPIs(width, "a"+itoa(u)))
+		b := bus(g.AddPIs(width, "b"+itoa(u)))
+		if rng.Intn(2) == 0 {
+			prods[u] = multiplyBuses(g, a, b)
+		} else {
+			prods[u] = wallaceBuses(g, a, b)
+		}
+	}
+
+	// Balanced reduction: each level halves the bus count and grows the
+	// running sums by one carry bit; an odd straggler rides to the next
+	// level untouched (addBus zero-extends the narrower operand).
+	for len(prods) > 1 {
+		next := make([]bus, 0, (len(prods)+1)/2)
+		for i := 0; i+1 < len(prods); i += 2 {
+			sum, cout := addBus(g, prods[i], prods[i+1], aig.LitFalse)
+			next = append(next, append(sum, cout))
+		}
+		if len(prods)%2 == 1 {
+			next = append(next, prods[len(prods)-1])
+		}
+		prods = next
+	}
+	addPOs(g, prods[0], "s")
+	return g
+}

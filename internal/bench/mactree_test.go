@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/sim"
+)
+
+// structHash is an FNV-1a digest of the graph's exact structure: node kinds,
+// AND fanin literals in id order, and the PO literals. Any change to node
+// construction order, strashing or the generator's rng consumption moves it.
+func structHash(g *aig.Graph) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v >> (8 * uint(i)) & 0xFF
+			h *= prime
+		}
+	}
+	mix(uint64(g.NumNodes()))
+	for i := 0; i < g.NumNodes(); i++ {
+		v := aig.Node(i)
+		mix(uint64(g.Kind(v)))
+		if g.IsAnd(v) {
+			mix(uint64(g.Fanin0(v)))
+			mix(uint64(g.Fanin1(v)))
+		}
+	}
+	mix(uint64(g.NumPOs()))
+	for i := 0; i < g.NumPOs(); i++ {
+		mix(uint64(g.PO(i)))
+	}
+	return h
+}
+
+// TestMACTreeFunctional checks a small member exhaustively: every pattern of
+// MACTree(2, 3, seed) must compute a0*b0 + a1*b1 exactly, for both seeds so
+// both multiplier architectures are covered in tree position 0 and 1.
+func TestMACTreeFunctional(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		g := MACTree(2, 3, seed)
+		if g.NumPIs() != 12 {
+			t.Fatalf("seed %d: %d PIs, want 12", seed, g.NumPIs())
+		}
+		p := sim.Exhaustive(12)
+		v := sim.Simulate(g, p)
+		for pat := 0; pat < 1<<12; pat++ {
+			a0 := piValue(p, 0, 3, pat)
+			b0 := piValue(p, 3, 3, pat)
+			a1 := piValue(p, 6, 3, pat)
+			b1 := piValue(p, 9, 3, pat)
+			got := evalBus(g, v, 0, g.NumPOs(), pat)
+			want := a0*b0 + a1*b1
+			if got != want {
+				t.Fatalf("seed %d: %d*%d + %d*%d = %d, want %d",
+					seed, a0, b0, a1, b1, got, want)
+			}
+		}
+	}
+}
+
+// TestMACTreeOddUnits covers the straggler path of the balanced reduction
+// (an odd bus carried to the next level) on random patterns.
+func TestMACTreeOddUnits(t *testing.T) {
+	const units, width = 5, 4
+	g := MACTree(units, width, 9)
+	v, p := simRandom(g, 17)
+	for pat := 0; pat < 256; pat++ {
+		var want uint64
+		for u := 0; u < units; u++ {
+			a := piValue(p, u*2*width, width, pat)
+			b := piValue(p, u*2*width+width, width, pat)
+			want += a * b
+		}
+		if got := evalBus(g, v, 0, g.NumPOs(), pat); got != want {
+			t.Fatalf("pattern %d: sum = %d, want %d", pat, got, want)
+		}
+	}
+}
+
+// TestMACTreeGolden pins the family's structure: equal parameters must build
+// bitwise-identical graphs (hash equality across two builds) and the exact
+// construction is frozen by a golden hash — benchgen output and the bigbench
+// smoke member cannot drift silently.
+func TestMACTreeGolden(t *testing.T) {
+	const goldenMac4x4s7 = 0x69b53df217f38ec8
+	g1 := MACTree(4, 4, 7)
+	g2 := MACTree(4, 4, 7)
+	h1, h2 := structHash(g1), structHash(g2)
+	if h1 != h2 {
+		t.Fatalf("MACTree is not deterministic: %#x vs %#x", h1, h2)
+	}
+	if h1 != goldenMac4x4s7 {
+		t.Fatalf("MACTree(4,4,7) structure hash %#x, want %#x", h1, goldenMac4x4s7)
+	}
+	if err := g1.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if hs := structHash(MACTree(4, 4, 8)); hs == h1 {
+		t.Logf("warning: seeds 7/8 hashed identically (%#x)", hs)
+	}
+}
+
+// TestMACTreeScales spot-checks the size model the ≥1M-node smoke relies on:
+// AND count grows linearly in units, and the 64-unit member already clears
+// the windowed fallback floor by two orders of magnitude.
+func TestMACTreeScales(t *testing.T) {
+	small := MACTree(8, 8, 1)
+	large := MACTree(64, 8, 1)
+	if large.NumAnds() < 7*small.NumAnds() {
+		t.Fatalf("MACTree not scaling linearly: 8 units = %d ANDs, 64 units = %d",
+			small.NumAnds(), large.NumAnds())
+	}
+	if large.NumAnds() < 20_000 {
+		t.Fatalf("MACTree(64,8,1) too small: %d ANDs", large.NumAnds())
+	}
+}

@@ -116,5 +116,9 @@ func Extra() []Entry {
 		{"gray8", func() *aig.Graph { return GrayEncode(8) }},
 		{"bcd7seg", SevenSeg},
 		{"cmp16", func() *aig.Graph { return Comparator(16) }},
+		// Smallest registered member of the scalable MACTree family; the
+		// big members (e.g. mac2048x8, >10^6 ANDs) are built on demand via
+		// MACTree/benchgen -family to keep build-all tests fast.
+		{"mac16x4", func() *aig.Graph { return MACTree(16, 4, 1) }},
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/errest"
 	"repro/internal/resub"
 	"repro/internal/sim"
@@ -73,4 +74,36 @@ func BenchmarkSessionStep(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkWindowedFlow measures session start-up plus the first windowed
+// iteration on a mid-size MACTree member (tens of thousands of AND nodes):
+// initial simulation, per-root window extraction, local care-set scanning
+// and the first ranked commit. This is the per-iteration unit cost the
+// million-node smoke (TestBigBenchWindowedSmoke) scales up, so it gates the
+// windowed hot path against regressions at a size the bench harness can
+// afford to repeat.
+func BenchmarkWindowedFlow(b *testing.B) {
+	g := bench.MACTree(64, 8, 1)
+	opts := DefaultOptions(errest.ER, 0.05)
+	opts.EvalPatterns = 1024
+	opts.InitialRounds = 16
+	opts.Workers = 4
+	opts.Windowed = true
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSession(g, opts)
+		if _, err := s.Step(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if _, ok := s.opts.Generator.(WindowedGenerator); !ok {
+			b.Fatal("session did not take the windowed path")
+		}
+		s.releaseArenas()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(g.NumAnds()), "ANDs")
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/errest"
 	"repro/internal/resub"
 	"repro/internal/sim"
+	"repro/internal/window"
 	"repro/internal/wordops"
 )
 
@@ -117,6 +118,42 @@ func (rg ResubGenerator) GenerateIncremental(g *aig.Graph, care *sim.Vectors, va
 	return wrapLACs(lacs), lacs
 }
 
+// WindowedGenerator adapts package window's reconvergence-driven windowed
+// resubstitution to the Generator interface: per root, the divisor scan
+// runs over a bounded local window instead of the full TFI cone, which
+// bounds per-root work by a constant and scales candidate generation to
+// million-node AIGs. Workers shard by window. With the zero window.Config
+// (unbounded windows) the candidates are bitwise identical to
+// ResubGenerator's — the property the window package pins.
+type WindowedGenerator struct {
+	Win window.Config
+	Cfg resub.Config
+}
+
+// Generate implements Generator.
+func (wg WindowedGenerator) Generate(g *aig.Graph, care *sim.Vectors, valid int) []Candidate {
+	return wg.GenerateWorkers(g, care, valid, 1)
+}
+
+// GenerateWorkers implements WorkerGenerator.
+func (wg WindowedGenerator) GenerateWorkers(g *aig.Graph, care *sim.Vectors, valid int, workers int) []Candidate {
+	return wrapLACs(window.GenerateWorkers(g, care, valid, wg.Win, wg.Cfg, workers))
+}
+
+// GenerateIncremental implements IncrementalGenerator, mirroring
+// ResubGenerator: unstale nodes keep their cached window candidates, stale
+// ones get fresh windows (window.GenerateReuse — the stale closure covers
+// every window dependency, see that function's contract).
+func (wg WindowedGenerator) GenerateIncremental(g *aig.Graph, care *sim.Vectors, valid, workers int,
+	stale []bool, cache any) ([]Candidate, any) {
+	cached, _ := cache.([]resub.LAC)
+	if stale == nil {
+		cached = nil
+	}
+	lacs := window.GenerateReuse(g, care, valid, wg.Win, wg.Cfg, workers, stale, cached)
+	return wrapLACs(lacs), lacs
+}
+
 func wrapLACs(lacs []resub.LAC) []Candidate {
 	out := make([]Candidate, len(lacs))
 	for i := range lacs {
@@ -175,11 +212,72 @@ type Options struct {
 	// UseEspresso selects the Espresso-style cover minimizer for
 	// resubstitution functions instead of plain ISOP (the paper's tooling).
 	UseEspresso bool
-	// Generator overrides the LAC generator; nil means ALSRAC resubstitution.
+	// Windowed selects reconvergence-driven windowed candidate generation
+	// (package window): per-root bounded windows instead of full TFI cones,
+	// which bounds per-iteration work and memory by circuit size × window
+	// bound instead of circuit size² — the mode that reaches million-node
+	// AIGs. Circuits below windowedFallbackAnds AND nodes fall back to the
+	// global scan, where full cones are cheap and find strictly more
+	// divisors. Ignored when Generator is set.
+	Windowed bool
+	// WindowMaxPIs, WindowMaxNodes, WindowMaxDivisors, WindowSkipFanoutRoots
+	// and WindowSkipFanoutDivisors bound the extracted windows (see
+	// window.Config). 0 picks the production default of
+	// window.DefaultConfig; a negative value means unbounded / no skip.
+	WindowMaxPIs             int
+	WindowMaxNodes           int
+	WindowMaxDivisors        int
+	WindowSkipFanoutRoots    int
+	WindowSkipFanoutDivisors int
+	// Generator overrides the LAC generator; nil means ALSRAC resubstitution
+	// (windowed when Windowed is set).
 	Generator Generator
 
 	// Verbose, when non-nil, receives progress lines.
 	Verbose func(format string, args ...any)
+}
+
+// WindowConfig resolves the Window* knobs against the production defaults:
+// zero fields pick the window.DefaultConfig value, negative fields mean
+// unbounded / no skip (window.Config's zero value).
+func (o *Options) WindowConfig() window.Config {
+	cfg := window.DefaultConfig()
+	resolve := func(dst *int, v int) {
+		switch {
+		case v > 0:
+			*dst = v
+		case v < 0:
+			*dst = 0
+		}
+	}
+	resolve(&cfg.MaxPIs, o.WindowMaxPIs)
+	resolve(&cfg.MaxNodes, o.WindowMaxNodes)
+	resolve(&cfg.MaxDivisors, o.WindowMaxDivisors)
+	resolve(&cfg.SkipFanoutRoots, o.WindowSkipFanoutRoots)
+	resolve(&cfg.SkipFanoutDivisors, o.WindowSkipFanoutDivisors)
+	return cfg
+}
+
+// windowedFallbackAnds is the circuit size below which a Windowed session
+// falls back to global scoring: at that scale every TFI cone is small, the
+// quadratic cost is immaterial, and the full cone is a strict superset of
+// any window's divisor pool.
+const windowedFallbackAnds = 200
+
+// flowGenerator picks the default LAC generator for a session over a
+// circuit with numAnds live AND nodes (only consulted when opts.Generator
+// is nil). It reports whether the windowed fallback was taken.
+func flowGenerator(opts *Options, numAnds int) (Generator, bool) {
+	rcfg := resub.Config{
+		MaxLACsPerNode:  opts.MaxLACsPerNode,
+		MaxReplaceTries: opts.MaxReplaceTries,
+		MaxDivisors:     opts.MaxDivisors,
+		UseEspresso:     opts.UseEspresso,
+	}
+	if opts.Windowed && numAnds >= windowedFallbackAnds {
+		return WindowedGenerator{Win: opts.WindowConfig(), Cfg: rcfg}, false
+	}
+	return ResubGenerator{Cfg: rcfg}, opts.Windowed
 }
 
 // DefaultOptions returns the paper's experiment parameters (Section IV-A):

@@ -7,7 +7,6 @@ import (
 	"repro/internal/aig"
 	"repro/internal/errest"
 	"repro/internal/opt"
-	"repro/internal/resub"
 	"repro/internal/sim"
 )
 
@@ -137,17 +136,17 @@ const optEvery = 8
 // NewSession prepares a Session over circuit g. g itself is never modified;
 // it is retained as the error reference and serialized into snapshots.
 func NewSession(g *aig.Graph, opts Options) *Session {
-	if opts.Generator == nil {
-		opts.Generator = ResubGenerator{Cfg: resub.Config{
-			MaxLACsPerNode:  opts.MaxLACsPerNode,
-			MaxReplaceTries: opts.MaxReplaceTries,
-			MaxDivisors:     opts.MaxDivisors,
-			UseEspresso:     opts.UseEspresso,
-		}}
-	}
 	logf := opts.Verbose
 	if logf == nil {
 		logf = func(string, ...any) {}
+	}
+	if opts.Generator == nil {
+		var fellBack bool
+		opts.Generator, fellBack = flowGenerator(&opts, g.NumAnds())
+		if fellBack {
+			logf("windowed mode: circuit has %d ANDs (< %d), falling back to global scoring",
+				g.NumAnds(), windowedFallbackAnds)
+		}
 	}
 	if opts.Patterns == nil {
 		opts.Patterns = sim.UniformN

@@ -297,10 +297,18 @@ func GenerateReuse(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, worke
 		}
 	}
 	fresh := generateOver(g, vecs, valid, cfg, workers, rescan)
+	return MergeByNode(ands, isStale, cached, fresh)
+}
 
-	// Merge in node order: cached entries for live unstale nodes, fresh
-	// entries for rescanned ones. Cache entries of dead or stale nodes are
-	// dropped on the floor.
+// MergeByNode merges a previous candidate list with freshly rescanned
+// entries in ascending node order: ands is the full live AND-node list,
+// isStale selects the nodes whose entries come from fresh, and every other
+// node keeps its cached entries verbatim. Cache entries of dead or stale
+// nodes are dropped on the floor. Both candidate lists must be sorted by
+// node id, as the Generate* functions produce them. It is shared by
+// GenerateReuse and by package window's incremental path, which maintains
+// the same per-node candidate layout.
+func MergeByNode(ands []aig.Node, isStale func(aig.Node) bool, cached, fresh []LAC) []LAC {
 	out := make([]LAC, 0, len(cached)+len(fresh))
 	ci, fi := 0, 0
 	for _, v := range ands {
@@ -382,6 +390,40 @@ func generateOver(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config, worker
 	return out
 }
 
+// Scanner exposes the per-node candidate scan of Algorithm 2 over an
+// explicit divisor pool, for callers that select divisors by other means
+// than the full TFI cone — package window hands it the nodes of a
+// reconvergence-driven window. A Scanner is single-goroutine scratch;
+// concurrent workers each construct their own.
+//
+// ScanNode is bitwise identical to the Generate path's per-node scan
+// whenever pool equals the node's TFI cone in the configured level order
+// and mffc its full MFFC size; that identity is what the window-vs-global
+// equivalence property rests on.
+type Scanner struct {
+	st genState
+}
+
+// NewScanner prepares a Scanner over the given graph and care-set value
+// vectors (of which the first valid patterns are meaningful).
+func NewScanner(g *aig.Graph, vecs *sim.Vectors, valid int, cfg Config) *Scanner {
+	minimize := tt.ISOP
+	if cfg.UseEspresso {
+		minimize = espresso.Minimize
+	}
+	s := &Scanner{}
+	s.st = genState{g: g, vecs: vecs, valid: valid, cfg: cfg, minimize: minimize}
+	return s
+}
+
+// ScanNode appends node v's feasible candidates over the divisor pool
+// (candidate nodes in scan order; entries equal to v, v's fanins or the
+// constant node are skipped like the cone scan skips them) using mffc as
+// the structural gain base, and returns the extended slice.
+func (s *Scanner) ScanNode(lacs []LAC, v aig.Node, pool []aig.Node, mffc int) []LAC {
+	return s.st.scanPool(lacs, v, pool, mffc)
+}
+
 // genState is the per-worker scratch of the candidate scan. The graph, its
 // level order and the value vectors are shared read-only; the marker, the
 // reference counts, and the cone/pool/divisor buffers are private, so the
@@ -400,7 +442,7 @@ type genState struct {
 	refs   []int32
 	marker *aig.ConeMarker
 	cone   []aig.Node // TFI of the current node in the configured level order
-	pool   []aig.Node // scanned replacement candidates, reused for triples
+	tried  []aig.Node // scanned replacement candidates, reused for triples
 	divBuf [3]aig.Lit
 }
 
@@ -448,14 +490,23 @@ func (s *genState) coneInLevelOrder(v aig.Node) {
 }
 
 // appendNodeLACs implements the per-node part of Algorithm 2 over the
-// divisor sets of Algorithm 1.
+// divisor sets of Algorithm 1: the divisor pool is the node's full TFI cone
+// in the configured level order, and the gain base its full MFFC size.
 func (s *genState) appendNodeLACs(lacs []LAC, v aig.Node) []LAC {
-	g, cfg := s.g, &s.cfg
-	mffc := g.MFFCSize(v, s.refs)
-	target := aig.MakeLit(v, false)
-
+	mffc := s.g.MFFCSize(v, s.refs)
 	// Algorithm 1: the TFI cone of V sorted by logic level.
 	s.coneInLevelOrder(v)
+	return s.scanPool(lacs, v, s.cone, mffc)
+}
+
+// scanPool runs the divisor-set scan of Algorithm 2 for node v over an
+// explicit divisor pool (candidate nodes in scan order) with a precomputed
+// structural gain base mffc. It is the common kernel of the global path
+// (pool = full TFI cone, mffc = full MFFC) and the windowed path of package
+// window (pool = window nodes, mffc = window-bounded MFFC).
+func (s *genState) scanPool(lacs []LAC, v aig.Node, pool []aig.Node, mffc int) []LAC {
+	g, cfg := s.g, &s.cfg
+	target := aig.MakeLit(v, false)
 
 	fanins := [2]aig.Node{g.Fanin0(v).Node(), g.Fanin1(v).Node()}
 	count := 0
@@ -498,10 +549,10 @@ func (s *genState) appendNodeLACs(lacs []LAC, v aig.Node) []LAC {
 		if !try(a) {
 			break
 		}
-		// Divisor sets B: replace the removed fanin by a TFI-cone node.
+		// Divisor sets B: replace the removed fanin by a pool node.
 		tries := 0
-		s.pool = s.pool[:0]
-		for _, u := range s.cone {
+		s.tried = s.tried[:0]
+		for _, u := range pool {
 			if count >= cfg.MaxLACsPerNode {
 				break
 			}
@@ -512,7 +563,7 @@ func (s *genState) appendNodeLACs(lacs []LAC, v aig.Node) []LAC {
 				continue
 			}
 			tries++
-			s.pool = append(s.pool, u)
+			s.tried = append(s.tried, u)
 			b := append(a, aig.MakeLit(u, false))
 			if !try(b) {
 				break
@@ -523,11 +574,11 @@ func (s *genState) appendNodeLACs(lacs []LAC, v aig.Node) []LAC {
 		// prefix of the scanned candidates. Richer functions approximate
 		// more closely at a slightly higher structural cost.
 		if cfg.MaxDivisors >= 3 && count < cfg.MaxLACsPerNode {
-			limit := min(len(s.pool), 16)
+			limit := min(len(s.tried), 16)
 			for x := 0; x < limit && count < cfg.MaxLACsPerNode; x++ {
 				for y := x + 1; y < limit && count < cfg.MaxLACsPerNode; y++ {
 					b := append(a,
-						aig.MakeLit(s.pool[x], false), aig.MakeLit(s.pool[y], false))
+						aig.MakeLit(s.tried[x], false), aig.MakeLit(s.tried[y], false))
 					if !try(b) {
 						break
 					}

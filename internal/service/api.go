@@ -111,6 +111,20 @@ func specFromQuery(r *http.Request) (JobSpec, error) {
 	parseF("maxdepth", &spec.MaxDepthRatio)
 	parseI("workers", &spec.Workers)
 	parseF("timeout", &spec.TimeoutSec)
+	if q.Has("windowed") {
+		switch q.Get("windowed") {
+		case "1", "true":
+			spec.Windowed = true
+		case "0", "false":
+		default:
+			err = fmt.Errorf("bad windowed=%q", q.Get("windowed"))
+		}
+	}
+	parseI("window_max_pis", &spec.WindowMaxPIs)
+	parseI("window_max_nodes", &spec.WindowMaxNodes)
+	parseI("window_max_divisors", &spec.WindowMaxDivisors)
+	parseI("window_skip_fanout_roots", &spec.WindowSkipFanoutRoots)
+	parseI("window_skip_fanout_divisors", &spec.WindowSkipFanoutDivisors)
 	return spec, err
 }
 

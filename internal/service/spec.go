@@ -41,6 +41,16 @@ type JobSpec struct {
 	MaxDepthRatio  float64 `json:"max_depth_ratio"`
 	Workers        int     `json:"workers"` // per-session worker goroutines (0 = all CPUs)
 
+	// Windowed selects reconvergence-driven windowed candidate generation;
+	// the Window* knobs follow core.Options semantics (0 = production
+	// default, negative = unbounded / no skip).
+	Windowed                 bool `json:"windowed,omitempty"`
+	WindowMaxPIs             int  `json:"window_max_pis,omitempty"`
+	WindowMaxNodes           int  `json:"window_max_nodes,omitempty"`
+	WindowMaxDivisors        int  `json:"window_max_divisors,omitempty"`
+	WindowSkipFanoutRoots    int  `json:"window_skip_fanout_roots,omitempty"`
+	WindowSkipFanoutDivisors int  `json:"window_skip_fanout_divisors,omitempty"`
+
 	// Format of the submitted circuit: "blif", "aag", "aig" or "auto"
 	// (sniffed from the payload).
 	Format string `json:"format"`
@@ -105,6 +115,23 @@ func (s *JobSpec) Normalize() error {
 	if s.TimeoutSec < 0 {
 		s.TimeoutSec = 0
 	}
+	if s.Windowed {
+		// Pin the window bounds a zero knob resolves to, so the persisted
+		// spec stays self-contained even if the production defaults change
+		// between daemon versions. Negative (unbounded) knobs keep their
+		// stable meaning and persist as-is.
+		def := (&core.Options{}).WindowConfig()
+		fill := func(v *int, d int) {
+			if *v == 0 {
+				*v = d
+			}
+		}
+		fill(&s.WindowMaxPIs, def.MaxPIs)
+		fill(&s.WindowMaxNodes, def.MaxNodes)
+		fill(&s.WindowMaxDivisors, def.MaxDivisors)
+		fill(&s.WindowSkipFanoutRoots, def.SkipFanoutRoots)
+		fill(&s.WindowSkipFanoutDivisors, def.SkipFanoutDivisors)
+	}
 	if s.Format == "" {
 		s.Format = "auto"
 	}
@@ -134,6 +161,12 @@ func (s JobSpec) Options() (core.Options, error) {
 	opts.MaxStall = s.MaxStall
 	opts.MaxDepthRatio = s.MaxDepthRatio
 	opts.Workers = s.Workers
+	opts.Windowed = s.Windowed
+	opts.WindowMaxPIs = s.WindowMaxPIs
+	opts.WindowMaxNodes = s.WindowMaxNodes
+	opts.WindowMaxDivisors = s.WindowMaxDivisors
+	opts.WindowSkipFanoutRoots = s.WindowSkipFanoutRoots
+	opts.WindowSkipFanoutDivisors = s.WindowSkipFanoutDivisors
 	return opts, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/aig"
+	"repro/internal/wordops"
 )
 
 // randomAIG builds a random DAG with nPIs inputs, nAnds AND attempts and a
@@ -232,4 +233,33 @@ func TestResimulatorForkIndependence(t *testing.T) {
 	f.Release()
 	r.Release()
 	base.Release()
+}
+
+// TestSimWorkersClamp pins the small-simulation fan-out skip: below the
+// per-worker work floor extra workers are dropped (the CLA32×256-word
+// benchmark case regressed 54% at workers=4 before the clamp), while a
+// large simulation keeps the requested parallelism.
+func TestSimWorkersClamp(t *testing.T) {
+	// 333 ANDs × 256 words ≈ 85K evals: under one work quantum → sequential.
+	if got := simWorkers(4, 333, 256); got != 1 {
+		t.Fatalf("small simulation kept %d workers, want 1", got)
+	}
+	// 1M ANDs × 128 words: far above the floor → knob honored.
+	if got := simWorkers(4, 1_000_000, 128); got != 4 {
+		t.Fatalf("large simulation clamped to %d workers, want 4", got)
+	}
+	// The word count still bounds the shard count.
+	if got := simWorkers(8, 1_000_000, 3); got != 3 {
+		t.Fatalf("worker count exceeded word count: %d", got)
+	}
+	bounds := shardBounds(4, 10)
+	if bounds[0] != 0 || bounds[4] != 10 {
+		t.Fatalf("shard bounds do not cover the word range: %v", bounds[:5])
+	}
+	for w := 0; w < 4; w++ {
+		if bounds[w] > bounds[w+1] {
+			t.Fatalf("shard bounds not monotone: %v", bounds[:5])
+		}
+	}
+	wordops.PutI32(bounds)
 }

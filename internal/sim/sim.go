@@ -219,11 +219,47 @@ func (v *Vectors) LitWords(l aig.Lit) (ws []uint64, inv uint64) {
 // version (the results are bitwise identical).
 func Simulate(g *aig.Graph, p *Patterns) *Vectors { return SimulateWorkers(g, p, 1) }
 
+// minSimWorkPerWorker is the minimum number of word-level AND evaluations
+// (NumAnds × words) each extra worker goroutine must bring before fanning
+// out pays for its spawn/join and cache traffic. Below it, small
+// simulations (a few hundred gates × a few hundred words) ran measurably
+// SLOWER with more workers; large AIGs are far above it and keep full
+// parallelism.
+const minSimWorkPerWorker = 1 << 17
+
+// simWorkers resolves the worker count for a simulation of ands AND nodes
+// over W words: the caller's knob, bounded by the word count and by the
+// total work per the minSimWorkPerWorker floor.
+func simWorkers(workers, ands, W int) int {
+	workers = Workers(workers, W)
+	if maxByWork := ands * W / minSimWorkPerWorker; workers > maxByWork {
+		workers = maxByWork
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	return workers
+}
+
+// shardBounds writes the word-range shard descriptors for the given worker
+// count into a pooled array: worker w owns [bounds[w], bounds[w+1]). The
+// caller returns the array with wordops.PutI32. Reusing one pooled
+// descriptor array keeps the fan-out path off the allocator instead of
+// materializing per-worker range pairs each call.
+func shardBounds(workers, W int) []int32 {
+	bounds := wordops.GetI32(workers + 1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = int32(w * W / workers)
+	}
+	return bounds
+}
+
 // SimulateWorkers evaluates graph g on the given patterns with the given
 // number of worker goroutines (0 = GOMAXPROCS). The word range [0, Words)
 // is split into one chunk per worker; each worker evaluates the full
 // topological order over its chunk, so the result is bitwise identical to
-// the sequential evaluation regardless of the worker count.
+// the sequential evaluation regardless of the worker count. Fan-out is
+// skipped entirely when the simulation is too small to amortize it.
 func SimulateWorkers(g *aig.Graph, p *Patterns, workers int) *Vectors {
 	if len(p.In) != g.NumPIs() {
 		panic("sim: pattern input count does not match graph")
@@ -233,14 +269,15 @@ func SimulateWorkers(g *aig.Graph, p *Patterns, workers int) *Vectors {
 	for i := 0; i < g.NumPIs(); i++ {
 		copy(v.Node(g.PI(i)), p.In[i])
 	}
-	workers = Workers(workers, W)
+	workers = simWorkers(workers, g.NumAnds(), W)
 	if workers <= 1 {
 		simulateRange(g, v, 0, W)
 		return v
 	}
+	bounds := shardBounds(workers, W)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo, hi := w*W/workers, (w+1)*W/workers
+		lo, hi := bounds[w], bounds[w+1]
 		if lo == hi {
 			continue
 		}
@@ -248,9 +285,10 @@ func SimulateWorkers(g *aig.Graph, p *Patterns, workers int) *Vectors {
 		go func(lo, hi int) {
 			defer wg.Done()
 			simulateRange(g, v, lo, hi)
-		}(lo, hi)
+		}(int(lo), int(hi))
 	}
 	wg.Wait()
+	wordops.PutI32(bounds)
 	return v
 }
 

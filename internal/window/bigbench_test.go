@@ -1,0 +1,58 @@
+package window_test
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/errest"
+)
+
+// bigbenchSysCeiling bounds runtime.MemStats.Sys after one windowed step on
+// the million-node member. The windowed mode's promise is memory linear in
+// circuit size × window bound — a global-scan regression (full TFI cones on
+// a 10^6-node AIG) blows far past this, while the windowed path stays well
+// under it even with allocator slack.
+const bigbenchSysCeiling = 4 << 30
+
+// TestBigBenchWindowedSmoke drives one windowed Session.Step over a
+// million-node MACTree member under a peak-memory assertion. It needs a few
+// minutes of CPU, so it is opt-in: set ALSRAC_BIGBENCH=1 (the CI
+// bigbench-smoke job does; see scripts/smoke_bigbench.sh).
+func TestBigBenchWindowedSmoke(t *testing.T) {
+	if os.Getenv("ALSRAC_BIGBENCH") != "1" {
+		t.Skip("set ALSRAC_BIGBENCH=1 to run the million-node windowed smoke")
+	}
+	g := bench.MACTree(2048, 8, 1)
+	if g.NumAnds() < 1_000_000 {
+		t.Fatalf("smoke member too small: %d ANDs", g.NumAnds())
+	}
+
+	opts := core.DefaultOptions(errest.ER, 0.05)
+	opts.EvalPatterns = 64
+	opts.InitialRounds = 16
+	opts.MaxLACsPerNode = 1
+	opts.SkipOptimize = true // the optimizer is not the windowed hot path
+	opts.Windowed = true
+	opts.Verbose = t.Logf
+
+	s := core.NewSession(g, opts)
+	if _, err := s.Step(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Iterations() != 1 {
+		t.Fatalf("expected one iteration, got %d", s.Iterations())
+	}
+
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	t.Logf("windowed step over %d ANDs: %d applied, error %.4g, Sys %d MiB",
+		g.NumAnds(), s.Applied(), s.CurrentError(), m.Sys>>20)
+	if m.Sys > bigbenchSysCeiling {
+		t.Fatalf("peak memory %d MiB exceeds the %d MiB windowed ceiling",
+			m.Sys>>20, uint64(bigbenchSysCeiling)>>20)
+	}
+}

@@ -14,7 +14,7 @@ trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSimulate$|BenchmarkGenerate$|BenchmarkALSRACFlowRCA32$' \
     -benchmem -benchtime="$benchtime" . | tee -a "$tmp"
-go test -run '^$' -bench 'BenchmarkRankCandidates$|BenchmarkSessionStep$' \
+go test -run '^$' -bench 'BenchmarkRankCandidates$|BenchmarkSessionStep$|BenchmarkWindowedFlow$' \
     -benchmem -benchtime="$benchtime" ./internal/core | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkServiceThroughput$' \
     -benchmem -benchtime="$benchtime" ./internal/service | tee -a "$tmp"

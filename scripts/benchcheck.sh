@@ -74,6 +74,7 @@ NR == FNR {
     }
     if (!(name in bns)) {
         printf "  new   %-45s %12.0f ns/op %10d allocs/op (no baseline)\n", name, ns, al
+        news = news (news == "" ? "" : ", ") name
         next
     }
     nsLim = bns[name] * (1 + thr / 100)
@@ -86,7 +87,14 @@ NR == FNR {
     if (status != "ok")
         printf "        ^ %s regressed beyond %s%% over the best baseline\n", name, thr
 }
-END { exit failed ? 1 : 0 }
+END {
+    # Call out benchmarks that ran ungated so a new benchmark cannot slip
+    # into the suite unnoticed: it must be seeded into a BENCH_*.json
+    # baseline before the gate starts protecting it.
+    if (news != "")
+        printf "benchcheck: ungated new benchmarks (seed a baseline): %s\n", news
+    exit failed ? 1 : 0
+}
 ' "$tmp_base" "$tmp_new" || { echo "benchcheck: regression detected"; exit 1; }
 
 echo "benchcheck: no regressions"

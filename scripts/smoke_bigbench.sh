@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# smoke_bigbench.sh — million-node windowed smoke. Builds the smallest
+# MACTree member over 10^6 AND nodes and drives one windowed Session.Step
+# under the peak-RSS assertion in TestBigBenchWindowedSmoke. This is the
+# end-to-end proof that the windowed mode actually reaches the scale the
+# global scan cannot: the same step with full TFI cones would blow both the
+# memory ceiling and the job timeout.
+#
+# The test is opt-in (ALSRAC_BIGBENCH=1) because it needs a few minutes of
+# CPU; CI runs it in the dedicated bigbench-smoke job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ALSRAC_BIGBENCH=1 go test -run '^TestBigBenchWindowedSmoke$' -v -timeout 30m ./internal/window

@@ -11,7 +11,7 @@ go build ./...
 go vet ./...
 go run ./cmd/alsraclint ./...
 go test ./...
-go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/errest ./internal/core ./internal/obs ./internal/service ./internal/faultfs
+go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/window ./internal/errest ./internal/core ./internal/obs ./internal/service ./internal/faultfs
 
 # Chaos gate: the seeded fault-injection matrix (torn writes, injected
 # errnos, crash points, worker panics, crash-loop quarantine) under the race
