@@ -348,6 +348,7 @@ func (s *replaceScratch) popMin() int32 {
 
 func growI32(s []int32, n int) []int32 {
 	if cap(s) < n {
+		//alsrac:alloc-ok amortized capacity growth; recycled scratch makes steady-state calls allocation-free
 		return make([]int32, n)
 	}
 	return s[:n]

@@ -1,0 +1,97 @@
+package analysis
+
+import "strings"
+
+// AllocflowAnalyzer extends the hotpath rule across function boundaries: a
+// function annotated //alsrac:hotpath must be allocation-free over its whole
+// static call closure, not just its own body. The PR 3 rule looks at one
+// body at a time, so a kernel calling a helper that quietly does
+// `make([]uint64, n)` two frames down passed clean; allocflow walks the call
+// graph (direct calls, method calls, method values, calls inside function
+// literals) and reports the offending call chain:
+//
+//	hotpath kernel K calls H1: H1 -> H2 (alloc at file:line: make)
+//
+// Waivers propagate: an //alsrac:alloc-ok marker on the allocation line
+// inside the helper removes the site from the helper's summary (so every
+// transitive proof through it succeeds), and a marker on a call line cuts
+// that edge out of the proof. In-function allocations of the kernel itself
+// remain the hotpath rule's findings — allocflow only reports transitive
+// ones, so the two rules never double-report a line.
+//
+// Dynamic calls through function-typed values (e.g. an injected accessor
+// func) do not resolve statically and are skipped — the proof covers the
+// static closure, and the benchmark allocation gates cover the rest.
+var AllocflowAnalyzer = &Analyzer{
+	Name:      "allocflow",
+	Doc:       "prove //alsrac:hotpath kernels allocation-free over their whole call closure",
+	RunModule: runAllocflow,
+}
+
+func runAllocflow(mp *ModulePass) {
+	m := mp.Module
+
+	// allocates[f]: f's own body has an unwaived allocation site, or some
+	// unwaived call edge reaches such a function (fixed point over the
+	// reverse call graph, so recursion converges). Waived edges do not
+	// propagate.
+	allocates := m.fixedPoint(
+		func(f *FuncInfo) bool { return len(f.Allocs) > 0 },
+		func(cs *CallSite) bool { return !cs.Waived },
+	)
+
+	for _, fi := range m.Funcs {
+		if !fi.Hotpath || !mp.applies(fi.Pkg) {
+			continue
+		}
+		for _, cs := range fi.Calls {
+			if cs.Waived || !allocates[cs.Callee] {
+				continue
+			}
+			chain, last, site := allocChain(cs.Callee, allocates)
+			mp.Reportf(fi.Pkg, cs.Pos,
+				"hotpath %s calls %s, which allocates: %s (alloc at %s: %s); hoist the allocation, pool it, or waive this call with //alsrac:alloc-ok <reason>",
+				fi.DisplayName(), cs.Callee.DisplayName(), chainString(chain),
+				last.Pkg.Fset.Position(site.Pos), site.Desc)
+		}
+	}
+}
+
+// allocChain walks from f down an allocating path: at each step it stops at
+// a function with an own-body allocation site, else follows the first
+// (source-ordered) unwaived callee that still allocates. It returns the
+// chain including f, its terminal frame, and the terminal allocation site.
+func allocChain(f *FuncInfo, allocates map[*FuncInfo]bool) ([]*FuncInfo, *FuncInfo, Site) {
+	chain := []*FuncInfo{f}
+	seen := map[*FuncInfo]bool{f: true}
+	cur := f
+	for {
+		if len(cur.Allocs) > 0 {
+			return chain, cur, cur.Allocs[0]
+		}
+		var next *FuncInfo
+		for _, cs := range cur.Calls {
+			if !cs.Waived && allocates[cs.Callee] && !seen[cs.Callee] {
+				next = cs.Callee
+				break
+			}
+		}
+		if next == nil {
+			// Only reachable through a cycle; anchor the report at the
+			// current frame.
+			return chain, cur, Site{cur.Decl.Pos(), "allocation within call cycle"}
+		}
+		seen[next] = true
+		chain = append(chain, next)
+		cur = next
+	}
+}
+
+// chainString renders "A -> B -> C".
+func chainString(chain []*FuncInfo) string {
+	parts := make([]string, len(chain))
+	for i, f := range chain {
+		parts[i] = f.DisplayName()
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -16,8 +16,23 @@
 //     also take the valid-pattern count, so tail bits beyond Patterns.Valid
 //     can never leak into a metric.
 //
-// Each analyzer reports diagnostics of the form "file:line: [rule] message"
-// and is exercised by positive and negative fixtures under testdata/.
+// On top of the per-function rules, a module-scope dataflow engine
+// (module.go) builds one call graph with per-function summaries and runs
+// fixed-point propagation, feeding four interprocedural rules:
+//
+//   - allocflow: hotpath kernels must be allocation-free over their whole
+//     static call closure, with //alsrac:alloc-ok waivers propagating;
+//   - leaks: every goroutine joined on every path, across function
+//     boundaries (join obligations escape through parameters);
+//   - ctxflow: a function receiving a context.Context must pass it to every
+//     blocking callee and never sever the chain with context.Background;
+//   - errwrap: faultfs-born errors stay errno-classifiable — %w wrapping
+//     (never %v) and no bare store errors at exported boundaries.
+//
+// Each analyzer reports diagnostics of the form "file:line:col: [rule]
+// message" and is exercised by positive and negative fixtures under
+// testdata/ (including the testdata/interproc mini-module, which exercises
+// cross-package propagation with fully resolved types).
 package analysis
 
 import (
@@ -36,10 +51,11 @@ type Diagnostic struct {
 	Message string
 }
 
-// String renders the diagnostic in the canonical "file:line: [rule] message"
-// form (the column is kept for editors but tests match on line granularity).
+// String renders the diagnostic in the canonical "file:line:col: [rule]
+// message" form — the file:line:col prefix is what editors and GitHub's
+// annotation matcher both parse (tests match on line granularity).
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
 // Package is one parsed and (leniently) type-checked package of the module.
@@ -73,31 +89,94 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named rule set.
+// Analyzer is one named rule set. Exactly one of Run (per-package AST rule)
+// and RunModule (interprocedural rule over the shared dataflow engine) is
+// set. Module rules receive the one Module that RunAnalyzers builds — the
+// call graph and every per-function summary are computed once and shared, so
+// adding rules does not add load or type-check passes.
 type Analyzer struct {
 	Name string
 	Doc  string
-	// AppliesTo filters packages by import path; nil means every package.
+	// AppliesTo filters where findings may land by import path; nil means
+	// every package. Module rules still see the whole module (summaries
+	// propagate through unfiltered packages) but only report inside the
+	// filter.
 	AppliesTo func(pkgPath string) bool
 	Run       func(p *Pass)
+	RunModule func(mp *ModulePass)
 }
 
-// Analyzers returns the full alsraclint suite in reporting order.
+// ModulePass carries one module-scope analyzer run and collects diagnostics.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos, positioned via the package that owns
+// the node. AppliesTo filtering is the caller's responsibility (use
+// ModulePass.applies on the landing package).
+func (mp *ModulePass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*mp.diags = append(*mp.diags, Diagnostic{
+		Pos:     pkg.Fset.Position(pos),
+		Rule:    mp.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// applies reports whether findings may land in the given package.
+func (mp *ModulePass) applies(pkg *Package) bool {
+	return mp.Analyzer.AppliesTo == nil || mp.Analyzer.AppliesTo(pkg.Path)
+}
+
+// Analyzers returns the full alsraclint suite in reporting order: the four
+// per-function rules of PR 3, then the four interprocedural rules.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		DeterminismAnalyzer,
 		HotpathAnalyzer,
 		ConcurrencyAnalyzer,
 		TailmaskAnalyzer,
+		AllocflowAnalyzer,
+		LeaksAnalyzer,
+		CtxflowAnalyzer,
+		ErrwrapAnalyzer,
 	}
 }
 
+// AnalyzerByName resolves a rule name, for cmd/alsraclint's -rule flag.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
 // RunAnalyzers applies every analyzer to every package it applies to and
-// returns the diagnostics sorted by file, line and rule.
+// returns the diagnostics sorted by file, line and rule. The packages are
+// parsed and type-checked exactly once (by LoadModule) and the dataflow
+// Module is built exactly once here, regardless of how many rules run — the
+// engine is shared, not rebuilt per rule.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
+	var mod *Module
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if mod == nil {
+			mod = BuildModule(pkgs)
+		}
+		a.RunModule(&ModulePass{Analyzer: a, Module: mod, diags: &diags})
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}

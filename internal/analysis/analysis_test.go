@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -27,6 +28,14 @@ var fixtureCases = []struct {
 	{"concurrency_ok.go", "repro/internal/core", ConcurrencyAnalyzer},
 	{"tailmask_bad.go", "repro/internal/errest", TailmaskAnalyzer},
 	{"tailmask_ok.go", "repro/internal/errest", TailmaskAnalyzer},
+	{"allocflow_bad.go", "repro/internal/wordops", AllocflowAnalyzer},
+	{"allocflow_ok.go", "repro/internal/wordops", AllocflowAnalyzer},
+	{"leaks_bad.go", "repro/internal/core", LeaksAnalyzer},
+	{"leaks_ok.go", "repro/internal/core", LeaksAnalyzer},
+	{"ctxflow_bad.go", "repro/internal/service", CtxflowAnalyzer},
+	{"ctxflow_ok.go", "repro/internal/service", CtxflowAnalyzer},
+	{"errwrap_bad.go", "repro/internal/service", ErrwrapAnalyzer},
+	{"errwrap_ok.go", "repro/internal/service", ErrwrapAnalyzer},
 }
 
 // wantMarkers extracts the `//want:<rule>` expectations of a fixture file as
@@ -129,15 +138,31 @@ func TestAnalyzersApplyToScopedPackages(t *testing.T) {
 	}
 }
 
+// The repository module is parsed and type-checked exactly once for the
+// whole test binary — every module-scope test and benchmark shares this load,
+// mirroring the load-once architecture of the tool itself.
+var (
+	repoOnce sync.Once
+	repoPkgs []*Package
+	repoErr  error
+)
+
+func loadRepoModule(tb testing.TB) []*Package {
+	repoOnce.Do(func() {
+		repoPkgs, repoErr = LoadModule(filepath.Join("..", ".."))
+	})
+	if repoErr != nil {
+		tb.Fatalf("load module: %v", repoErr)
+	}
+	return repoPkgs
+}
+
 // TestModuleIsClean loads the real module and requires the full suite to
 // pass with zero findings — the same gate scripts/verify.sh and CI enforce.
 // It also counts the //alsrac:hotpath annotations so a refactor that
 // silently drops the markers (and with them the enforcement) fails loudly.
 func TestModuleIsClean(t *testing.T) {
-	pkgs, err := LoadModule(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatalf("load module: %v", err)
-	}
+	pkgs := loadRepoModule(t)
 	if len(pkgs) < 10 {
 		t.Fatalf("loader found only %d packages; the walk is broken", len(pkgs))
 	}
@@ -164,10 +189,7 @@ func TestModuleIsClean(t *testing.T) {
 // TestLoadModuleSkipsTestsAndTestdata guards the loader's file selection:
 // fixture packages must never leak into a module load.
 func TestLoadModuleSkipsTestsAndTestdata(t *testing.T) {
-	pkgs, err := LoadModule(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatal(err)
-	}
+	pkgs := loadRepoModule(t)
 	for _, pkg := range pkgs {
 		for _, file := range pkg.Files {
 			name := pkg.Fset.Position(file.Pos()).Filename

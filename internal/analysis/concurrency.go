@@ -135,6 +135,8 @@ func baseIdent(e ast.Expr) *ast.Ident {
 			e = x.X
 		case *ast.StarExpr:
 			e = x.X
+		case *ast.UnaryExpr: // &x: the address of a variable is still that variable
+			e = x.X
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.IndexExpr:

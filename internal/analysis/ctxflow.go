@@ -1,0 +1,120 @@
+package analysis
+
+import "go/ast"
+
+// CtxflowAnalyzer hardens the alsracd cancel/drain/resume machinery: a
+// function that receives a context.Context must actually honor it. Two bug
+// classes are reported:
+//
+//  1. Dropped context: a ctx-aware function calls context.Background() or
+//     context.TODO(), severing the cancellation chain it was handed. The
+//     daemon's graceful drain relies on ctx reaching every Step and store
+//     op; a Background() two frames down turns SIGTERM into a hang.
+//
+//  2. Blocking escape: a ctx-aware function calls (directly, on its own
+//     goroutine) a module function that can block indefinitely — a channel
+//     send/receive outside a default-guarded select, a select with neither
+//     default nor a ctx.Done case, time.Sleep, or transitively any callee
+//     that does — and that callee accepts no context, so cancellation can
+//     never reach the blocking point. The chain to the blocking seed is
+//     printed. Callees that accept a context are assumed to honor it (rule 1
+//     and their own ctxflow findings keep them honest); calls inside
+//     function literals or go statements run on other schedules and do not
+//     propagate.
+//
+// The blocking summary is computed once on the shared engine and reused by
+// every function's check (fixed point over the call graph).
+var CtxflowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ctx-aware functions must pass their context to every blocking callee",
+	AppliesTo: pathIn(
+		"internal/core", "internal/service", "internal/resub",
+		"internal/sim", "internal/window", "internal/errest",
+	),
+	RunModule: runCtxflow,
+}
+
+func runCtxflow(mp *ModulePass) {
+	m := mp.Module
+
+	// blocking[f]: f can block with no context to cut it short — it has a
+	// blocking seed of its own, or it synchronously calls a blocking
+	// module function that accepts no context. Propagation stops at
+	// ctx-aware callees: they can be cancelled, so the hazard ends there.
+	blocking := m.fixedPoint(
+		func(f *FuncInfo) bool { return len(f.Blocks) > 0 && !f.HasCtxParam() },
+		func(cs *CallSite) bool {
+			return !cs.IsRef && !cs.InFuncLit && !cs.InGo && !cs.Caller.HasCtxParam()
+		},
+	)
+
+	for _, fi := range m.Funcs {
+		if !fi.HasCtxParam() || !mp.applies(fi.Pkg) {
+			continue
+		}
+		// Rule 1: dropping the handed context.
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			x, name, ok := selectorCall(call)
+			if !ok || (name != "Background" && name != "TODO") {
+				return true
+			}
+			id, ok := x.(*ast.Ident)
+			if !ok || fi.Pkg.pkgNameOf(fi.File, id) != "context" {
+				return true
+			}
+			mp.Reportf(fi.Pkg, call.Pos(),
+				"%s receives a context but calls context.%s() here, severing the cancellation chain; derive from the incoming ctx instead",
+				fi.DisplayName(), name)
+			return true
+		})
+
+		// Rule 2: blocking callees reachable without the context.
+		for _, cs := range fi.Calls {
+			if cs.IsRef || cs.InFuncLit || cs.InGo {
+				continue
+			}
+			if cs.Callee.HasCtxParam() || !blocking[cs.Callee] {
+				continue
+			}
+			chain, last, seed := blockChain(cs.Callee, blocking)
+			mp.Reportf(fi.Pkg, cs.Pos,
+				"%s holds a context but calls %s, which can block with no way to cancel: %s (%s at %s); thread ctx through or add a ctx-aware variant",
+				fi.DisplayName(), cs.Callee.DisplayName(), chainString(chain),
+				seed.Desc, last.Pkg.Fset.Position(seed.Pos))
+		}
+	}
+}
+
+// blockChain walks from f down a blocking path to a seed, mirroring
+// allocChain: stop at a function with its own blocking seed, else follow the
+// first synchronous ctx-less callee that still blocks.
+func blockChain(f *FuncInfo, blocking map[*FuncInfo]bool) ([]*FuncInfo, *FuncInfo, Site) {
+	chain := []*FuncInfo{f}
+	seen := map[*FuncInfo]bool{f: true}
+	cur := f
+	for {
+		if len(cur.Blocks) > 0 {
+			return chain, cur, cur.Blocks[0]
+		}
+		var next *FuncInfo
+		for _, cs := range cur.Calls {
+			if cs.IsRef || cs.InFuncLit || cs.InGo {
+				continue
+			}
+			if !cs.Callee.HasCtxParam() && blocking[cs.Callee] && !seen[cs.Callee] {
+				next = cs.Callee
+				break
+			}
+		}
+		if next == nil {
+			return chain, cur, Site{cur.Decl.Pos(), "blocking within call cycle"}
+		}
+		seen[next] = true
+		chain = append(chain, next)
+		cur = next
+	}
+}

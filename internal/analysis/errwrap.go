@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ErrwrapAnalyzer guards the failure-routing contract of the PR 5
+// robustness layer: the retry/quarantine logic classifies failures by errno
+// (isTransientErrno walks the chain with errors.As), so an error born in a
+// faultfs operation must keep its chain intact all the way up. Two bug
+// classes break that silently:
+//
+//  1. Wrapping without %w: fmt.Errorf("...: %v", err) renders the cause
+//     into a string — errors.As finds no errno behind it, a transient
+//     ENOSPC is misrouted to fail-fast, and a job dies that a retry would
+//     have saved. Every error-typed argument of fmt.Errorf must sit under a
+//     %w verb.
+//
+//  2. Bare store errors at exported boundaries: an exported function of the
+//     service/core layer that returns a faultfs-born error completely
+//     unwrapped gives its caller no context about which operation failed —
+//     the quarantine log then names nothing. The origin is traced
+//     interprocedurally: a helper that bare-returns a faultfs op error
+//     becomes a store-error source, and its callers inherit the obligation
+//     until some frame wraps (%w keeps the chain) or classifies (errors.Is,
+//     errors.As, a *transient* helper) the error.
+//
+// The faultfs package itself is exempt: it is the source of these errors
+// (the OS passthrough and the injector are deliberately transparent).
+var ErrwrapAnalyzer = &Analyzer{
+	Name:      "errwrap",
+	Doc:       "store errors must stay errno-classifiable: wrap with %w or classify, never stringify or leak bare",
+	AppliesTo: pathIn("internal/service", "internal/core"),
+	RunModule: runErrwrap,
+}
+
+// errOrigin classifies where a returned error value came from.
+type errOrigin struct {
+	kind   int // originNone, originFaultfs, originCall
+	callee *FuncInfo
+	desc   string
+}
+
+const (
+	originNone = iota
+	originFaultfs
+	originCall
+)
+
+// bareReturn is one `return err` (or tail-call return) whose error came
+// from a store operation without wrapping or classification.
+type bareReturn struct {
+	pos    token.Pos
+	origin errOrigin
+}
+
+func runErrwrap(mp *ModulePass) {
+	m := mp.Module
+
+	bares := map[*FuncInfo][]bareReturn{}
+	for _, fi := range m.Funcs {
+		bares[fi] = bareStoreReturns(m, fi)
+	}
+
+	// Fixed point: f is a store-error source if it bare-returns a faultfs
+	// op error, or bare-returns the error of a callee that is itself a
+	// source. Classification anywhere in the body discharges the whole
+	// function (the retrier pattern: the classifier sits beside the
+	// return).
+	source := map[*FuncInfo]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, fi := range m.Funcs {
+			if source[fi] || fi.Classifies {
+				continue
+			}
+			for _, br := range bares[fi] {
+				if br.origin.kind == originFaultfs ||
+					(br.origin.kind == originCall && source[br.origin.callee]) {
+					source[fi] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fi := range m.Funcs {
+		if !mp.applies(fi.Pkg) {
+			continue
+		}
+		reportBadVerbs(mp, fi)
+		if !fi.Decl.Name.IsExported() || fi.Classifies {
+			continue
+		}
+		for _, br := range bares[fi] {
+			live := br.origin.kind == originFaultfs ||
+				(br.origin.kind == originCall && source[br.origin.callee])
+			if !live {
+				continue
+			}
+			mp.Reportf(fi.Pkg, br.pos,
+				"exported %s returns a store error bare (from %s): wrap with %%w to add operation context, or classify with the transient-errno helpers, so retry/quarantine can still route the errno",
+				fi.DisplayName(), br.origin.desc)
+		}
+	}
+}
+
+// bareStoreReturns scans one body for `return err` sites whose err value was
+// last assigned from a faultfs operation or a module call, plus tail-call
+// returns of such calls. The reaching-assignment approximation is "closest
+// preceding assignment in source order", which matches the if-err-return
+// idiom this codebase uses exclusively.
+func bareStoreReturns(m *Module, fi *FuncInfo) []bareReturn {
+	p := fi.Pkg
+	type assign struct {
+		pos    token.Pos
+		obj    types.Object
+		origin errOrigin
+	}
+	var assigns []assign
+	var out []bareReturn
+
+	classify := func(call *ast.CallExpr) errOrigin {
+		var callee *types.Func
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if p.TypesInfo != nil {
+				callee, _ = p.TypesInfo.Uses[fun].(*types.Func)
+			}
+		case *ast.SelectorExpr:
+			if p.TypesInfo != nil {
+				callee, _ = p.TypesInfo.Uses[fun.Sel].(*types.Func)
+			}
+		}
+		if callee == nil {
+			return errOrigin{kind: originNone}
+		}
+		if pkg := callee.Pkg(); pkg != nil && strings.HasSuffix(pkg.Path(), "internal/faultfs") {
+			return errOrigin{kind: originFaultfs, desc: "faultfs op " + callee.Name()}
+		}
+		if target, ok := m.byObj[callee]; ok {
+			return errOrigin{kind: originCall, callee: target, desc: target.DisplayName()}
+		}
+		return errOrigin{kind: originNone}
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Record the assignment even when the origin is clean: a
+			// store-origin value overwritten by a clean one stops being
+			// bare at later returns.
+			origin := classify(call)
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !isErrorish(p, id) {
+					continue
+				}
+				if obj := baseObj(p, id); obj != nil {
+					assigns = append(assigns, assign{n.Pos(), obj, origin})
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				switch res := res.(type) {
+				case *ast.Ident:
+					if !isErrorish(p, res) {
+						continue
+					}
+					obj := baseObj(p, res)
+					if obj == nil {
+						continue
+					}
+					// closest preceding assignment to the same object
+					var reach *assign
+					for i := range assigns {
+						a := &assigns[i]
+						if a.obj == obj && a.pos < n.Pos() && (reach == nil || a.pos > reach.pos) {
+							reach = a
+						}
+					}
+					if reach != nil && reach.origin.kind != originNone {
+						out = append(out, bareReturn{n.Pos(), reach.origin})
+					}
+				case *ast.CallExpr:
+					if isErrorfCall(p, fi.File, res) {
+						continue // wrapped (verb hygiene checked separately)
+					}
+					if origin := classify(res); origin.kind != originNone {
+						out = append(out, bareReturn{n.Pos(), origin})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isErrorish reports whether the identifier is error-typed, falling back to
+// the "err" spelling convention when types degraded.
+func isErrorish(p *Package, id *ast.Ident) bool {
+	if t := p.typeOf(id); t != nil {
+		return implementsError(t)
+	}
+	return id.Name == "err" || strings.HasSuffix(id.Name, "Err") || strings.HasSuffix(id.Name, "err")
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// isErrorfCall matches fmt.Errorf(...).
+func isErrorfCall(p *Package, file *ast.File, call *ast.CallExpr) bool {
+	x, name, ok := selectorCall(call)
+	if !ok || name != "Errorf" {
+		return false
+	}
+	id, ok := x.(*ast.Ident)
+	return ok && p.pkgNameOf(file, id) == "fmt"
+}
+
+// reportBadVerbs flags fmt.Errorf calls whose error-typed arguments sit
+// under a verb other than %w.
+func reportBadVerbs(mp *ModulePass, fi *FuncInfo) {
+	p := fi.Pkg
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isErrorfCall(p, fi.File, call) || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		verbs := formatVerbs(lit.Value)
+		for i, arg := range call.Args[1:] {
+			if i >= len(verbs) {
+				break
+			}
+			isErr := false
+			if t := p.typeOf(arg); t != nil {
+				isErr = implementsError(t)
+			} else if id, ok := arg.(*ast.Ident); ok {
+				// Degraded types: fall back to the err spelling convention,
+				// same as bareStoreReturns.
+				isErr = isErrorish(p, id)
+			}
+			if !isErr {
+				continue
+			}
+			if verbs[i] != 'w' {
+				mp.Reportf(p, arg.Pos(),
+					"error wrapped with %%%c instead of %%w in %s: the errno chain is stringified away and transient-error classification downstream (errors.As) goes blind",
+					verbs[i], fi.DisplayName())
+			}
+		}
+		return true
+	})
+}
+
+// formatVerbs extracts the verb letters of a quoted format string literal in
+// argument order (%% consumes no argument; flags, width and precision are
+// skipped; argument indexes like %[1]v are not handled and end the scan).
+func formatVerbs(quoted string) []byte {
+	var verbs []byte
+	s := quoted
+	for i := 0; i < len(s); i++ {
+		if s[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(s) {
+			break
+		}
+		if s[i] == '%' {
+			continue
+		}
+		if s[i] == '[' {
+			return verbs // explicit argument index: give up, never guess
+		}
+		for i < len(s) && (s[i] == '+' || s[i] == '-' || s[i] == '#' || s[i] == ' ' ||
+			s[i] == '0' || s[i] == '.' || (s[i] >= '1' && s[i] <= '9')) {
+			i++
+		}
+		if i < len(s) {
+			verbs = append(verbs, s[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,44 @@
+// Fixture: hotpath kernels whose whole static call closure is
+// allocation-free, including via a waiver at the allocation site inside a
+// helper — the waiver removes the site from the helper's summary, so every
+// kernel calling it proves clean (the production growI32 pattern).
+package wordops
+
+//alsrac:hotpath
+func kernelCallsCleanHelper(ws []uint64, n int) int {
+	return popcountWords(ws, n)
+}
+
+//alsrac:hotpath
+func kernelCallsWaivedHelper(dst []uint64, n int) []uint64 {
+	return growPooled(dst, n)
+}
+
+//alsrac:hotpath
+func kernelChainsCleanHelpers(ws []uint64, n int) int {
+	return doublePopcount(ws, n)
+}
+
+func popcountWords(ws []uint64, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		w := ws[i]
+		for w != 0 {
+			w &= w - 1
+			total++
+		}
+	}
+	return total
+}
+
+func doublePopcount(ws []uint64, n int) int {
+	return popcountWords(ws, n) * 2
+}
+
+func growPooled(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		//alsrac:alloc-ok pool warmup; recycled storage keeps steady-state calls allocation-free
+		return make([]uint64, n)
+	}
+	return s[:n]
+}

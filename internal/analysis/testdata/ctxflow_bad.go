@@ -1,0 +1,42 @@
+// Fixture: context-flow violations — a handed context dropped on the floor,
+// and blocking helpers reachable from ctx-aware functions without any way to
+// cancel them (directly and through a middle frame).
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// dropsContext severs the chain it was handed.
+func dropsContext(ctx context.Context) error {
+	return doWork(context.Background()) //want:ctxflow
+}
+
+func doWork(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// waitsBlind calls a ctx-less helper that can block forever on the channel.
+func waitsBlind(ctx context.Context, ch chan int) int {
+	return drain(ch) //want:ctxflow
+}
+
+func drain(ch chan int) int {
+	return <-ch
+}
+
+// pollsBlind reaches a time.Sleep two frames down; neither frame takes a
+// context, so cancellation can never arrive.
+func pollsBlind(ctx context.Context) {
+	tickOnce() //want:ctxflow
+}
+
+func tickOnce() {
+	pause()
+}
+
+func pause() {
+	time.Sleep(1)
+}

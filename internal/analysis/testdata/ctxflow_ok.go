@@ -1,0 +1,44 @@
+// Fixture: context handling the ctxflow analyzer must accept — ctx threaded
+// to ctx-aware callees, default-guarded selects, ctx.Done select cases, and
+// blocking work handed off to another goroutine.
+package service
+
+import "context"
+
+// delegates passes its context on; the callee is assumed to honor it.
+func delegates(ctx context.Context, ch chan int) int {
+	return drainCtx(ctx, ch)
+}
+
+func drainCtx(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// tryRecv never blocks: the select has a default case.
+func tryRecv(ch chan int) (int, bool) {
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func polls(ctx context.Context, ch chan int) (int, bool) {
+	return tryRecv(ch)
+}
+
+// handsOff moves the blocking pump onto its own goroutine; the spawner is
+// not charged with the pump's blocking (the leaks rule owns its lifecycle).
+func handsOff(ctx context.Context, ch chan int) {
+	go pump(ch)
+}
+
+func pump(ch chan int) {
+	ch <- 1
+}

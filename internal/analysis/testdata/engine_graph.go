@@ -1,0 +1,37 @@
+// Fixture for the call-graph construction unit tests: direct calls, method
+// calls, method values, function values, calls inside function literals and
+// go statements, and a dynamic call through a function-typed parameter
+// (which must produce no edge).
+package core
+
+func caller(ws []int) {
+	leafA()
+
+	var w widget
+	w.method()
+
+	f := leafB // function value: may-call reference edge
+	f()        // dynamic: no edge for the call itself
+
+	m := w.method // method value: may-call reference edge
+	_ = m
+
+	run(func() {
+		leafC() // attributed to caller, marked InFuncLit
+	})
+
+	go leafD() // marked InGo
+}
+
+func run(f func()) {
+	f() // dynamic through a parameter: no edge
+}
+
+func leafA() {}
+func leafB() {}
+func leafC() {}
+func leafD() {}
+
+type widget struct{}
+
+func (widget) method() {}

@@ -1,0 +1,19 @@
+// Fixture: error-wrapping verb misuse — an error formatted with anything but
+// %w loses its chain, and errors.As downstream can no longer find the errno.
+// (The interprocedural bare-return half of errwrap is exercised by the
+// testdata/interproc mini-module, which has real cross-package types.)
+package service
+
+import "fmt"
+
+func stringifiesCause(err error) error {
+	return fmt.Errorf("loading job: %v", err) //want:errwrap
+}
+
+func stringifiesSecondError(sentinel, cause error) error {
+	return fmt.Errorf("op failed: %w: %s", sentinel, cause) //want:errwrap
+}
+
+func verboseStringify(err error) error {
+	return fmt.Errorf("state dump: %+v", err) //want:errwrap
+}

@@ -1,0 +1,21 @@
+// Fixture: wrapping done right — every error argument sits under %w, other
+// verbs format non-error values, and %% never consumes an argument.
+package service
+
+import "fmt"
+
+func wrapsProperly(err error) error {
+	return fmt.Errorf("loading job: %w", err)
+}
+
+func mixesValuesAndError(n int, name string, err error) error {
+	return fmt.Errorf("job %d (%s) failed: %w", n, name, err)
+}
+
+func literalPercent(err error) error {
+	return fmt.Errorf("utilization 100%%: %w", err)
+}
+
+func wrapsTwoErrors(sentinel, cause error) error {
+	return fmt.Errorf("%w: %w", sentinel, cause)
+}

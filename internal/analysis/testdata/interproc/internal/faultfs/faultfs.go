@@ -1,0 +1,16 @@
+// Package faultfs is a minimal stand-in for the real fault-injection
+// filesystem. The errwrap analyzer classifies a call into any package whose
+// import path ends in internal/faultfs as a store-error source, so this
+// mini-module exercises the cross-package half of the rule with fully
+// resolved types (single-file fixtures get only stubbed imports).
+package faultfs
+
+import "os"
+
+func ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(name)
+}
+
+func WriteFile(name string, data []byte) error {
+	return os.WriteFile(name, data, 0o644)
+}

@@ -1,0 +1,67 @@
+// Fixture: the interprocedural bare-return rule. An unexported helper may
+// bare-return a faultfs error (it becomes a store-error source), but an
+// exported function leaking such an error unwrapped is a finding — unless
+// some frame wraps with %w or classifies the chain.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"interproc/internal/faultfs"
+)
+
+// loadAll bare-returns the faultfs error: unexported, so no finding here,
+// but every caller inherits the obligation.
+func loadAll(dir string) ([]byte, error) {
+	b, err := faultfs.ReadFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Recover leaks the store error bare through two frames.
+func Recover(dir string) ([]byte, error) {
+	b, err := loadAll(dir)
+	if err != nil {
+		return nil, err //want:errwrap
+	}
+	return b, nil
+}
+
+// RecoverWrapped keeps the chain intact with %w.
+func RecoverWrapped(dir string) ([]byte, error) {
+	b, err := loadAll(dir)
+	if err != nil {
+		return nil, fmt.Errorf("recovering %s: %w", dir, err)
+	}
+	return b, nil
+}
+
+// Classify consults the chain, which satisfies the obligation in full.
+func Classify(dir string) ([]byte, error) {
+	b, err := loadAll(dir)
+	if err != nil {
+		if errors.Is(err, errTruncated) {
+			return nil, errTruncated
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
+var errTruncated = errors.New("truncated store")
+
+// Persist bare-returns the store op as a tail call.
+func Persist(name string, data []byte) error {
+	return faultfs.WriteFile(name, data) //want:errwrap
+}
+
+// PersistWrapped is the tail-call pattern done right.
+func PersistWrapped(name string, data []byte) error {
+	if err := faultfs.WriteFile(name, data); err != nil {
+		return fmt.Errorf("persisting %s: %w", name, err)
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+// Fixture: sanctioned goroutine lifecycles the leaks analyzer must accept —
+// notably spawn-in-helper/join-in-caller, which the per-function concurrency
+// rule of PR 3 could not express.
+package core
+
+import "sync"
+
+// spawnPool spawns on its parameter; the join lives with the callers below.
+func spawnPool(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// runAndJoin joins in the caller, one hop from the spawn.
+func runAndJoin(n int) {
+	var wg sync.WaitGroup
+	spawnPool(&wg, n)
+	wg.Wait()
+}
+
+// midForward forwards the obligation; topJoins discharges it two hops up.
+func midForward(wg *sync.WaitGroup, n int) {
+	spawnPool(wg, n)
+}
+
+func topJoins(n int) {
+	var wg sync.WaitGroup
+	midForward(&wg, n)
+	wg.Wait()
+}
+
+// spawnAndReceive joins through the channel the goroutine sends on.
+func spawnAndReceive() int {
+	done := make(chan int)
+	go func() {
+		done <- 1
+	}()
+	return <-done
+}
+
+// spawnAndWaitLocally is the classic same-function pattern.
+func spawnAndWaitLocally(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

@@ -185,20 +185,20 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 
 	orig, err := d.graph()
 	if err != nil {
-		return nil, fmt.Errorf("core: %w: reference graph: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("core: %w: reference graph: %w", ErrCorrupt, err)
 	}
 	cur, err := d.graph()
 	if err != nil {
-		return nil, fmt.Errorf("core: %w: working graph: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("core: %w: working graph: %w", ErrCorrupt, err)
 	}
 	best := cur
 	if !d.bool() {
 		if best, err = d.graph(); err != nil {
-			return nil, fmt.Errorf("core: %w: best graph: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("core: %w: best graph: %w", ErrCorrupt, err)
 		}
 	}
 	if d.err != nil {
-		return nil, fmt.Errorf("core: %w: decode: %v", ErrCorrupt, d.err)
+		return nil, fmt.Errorf("core: %w: decode: %w", ErrCorrupt, d.err)
 	}
 
 	if opts.Seed != seed {

@@ -151,7 +151,7 @@ func New(cfg Config) (*Manager, error) {
 
 	stored, err := st.loadAll()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("service: recovering persisted jobs: %w", err)
 	}
 	m := &Manager{
 		cfg:    cfg,
@@ -316,7 +316,7 @@ func (m *Manager) Submit(spec JobSpec, circuit []byte) (JobStatus, error) {
 
 	if err := m.st.createJob(id, spec, circuit); err != nil {
 		_ = m.cfg.FS.RemoveAll(m.st.jobDir(id))
-		return JobStatus{}, err
+		return JobStatus{}, fmt.Errorf("service: persisting job %s: %w", id, err)
 	}
 	job := &Job{ID: id, Spec: spec, state: StateQueued, ands: g.NumAnds()}
 
@@ -408,7 +408,7 @@ func (m *Manager) ResultGraph(id string) (*aig.Graph, error) {
 	}
 	g, err := m.st.loadResult(id)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("service: loading result of job %s: %w", id, err)
 	}
 	job.mu.Lock()
 	job.resultGraph, job.hasResult = g, true

@@ -236,6 +236,7 @@ func (v *Vectors) EnsureNodes(nodes int) {
 
 func growI32(s []int32, n int) []int32 {
 	if cap(s) < n {
+		//alsrac:alloc-ok amortized capacity growth; the arena reuses storage so steady-state calls are allocation-free
 		return make([]int32, n)
 	}
 	return s[:n]

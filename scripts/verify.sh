@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, vet, the project's own analyzer suite, the
-# full test suite, the race detector over the concurrency-bearing packages,
-# and a short fuzz smoke over the property-tested kernels. Any failure is
-# fatal (set -e): a vet finding, an alsraclint diagnostic, a race, or a
-# fuzz counterexample all fail the gate.
+# Tier-1 verification: build, vet, the project's own analyzer suite (all
+# eight rules — determinism, hotpath, concurrency, tailmask, plus the
+# interprocedural allocflow, leaks, ctxflow and errwrap on the shared
+# dataflow engine), the full test suite, the race detector over the
+# concurrency-bearing packages, and a short fuzz smoke over the
+# property-tested kernels. Any failure is fatal (set -e): a vet finding, an
+# alsraclint diagnostic, a race, or a fuzz counterexample all fail the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
