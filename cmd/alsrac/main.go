@@ -22,24 +22,26 @@ import (
 
 func main() {
 	var (
-		inFile    = flag.String("in", "", "input circuit file: .blif, .aag or .aig (alternative to -bench)")
-		benchName = flag.String("bench", "", "built-in benchmark name (see -list)")
-		list      = flag.Bool("list", false, "list built-in benchmarks and exit")
-		metric    = flag.String("metric", "er", "error metric: er, nmed or mred")
-		threshold = flag.Float64("threshold", 0.01, "error threshold Et")
-		outFile   = flag.String("out", "", "write the approximate circuit (.blif, .aag, .aig or .v)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		evalPats  = flag.Int("eval", 8192, "Monte-Carlo error evaluation patterns")
-		rounds    = flag.Int("n", 32, "initial care-set simulation rounds N")
-		lacLimit  = flag.Int("l", 1, "LAC limit per node L")
-		patience  = flag.Int("t", 5, "empty iterations before shrinking N (t)")
-		scale     = flag.Float64("r", 0.9, "shrink factor for N (r)")
-		flow      = flag.String("flow", "alsrac", "flow: alsrac, sasimi or mcmc")
-		target    = flag.String("target", "asic", "mapping target: asic or lut6")
-		maxDepth  = flag.Float64("maxdepth", 0, "reject changes exceeding this ratio of the original depth (0 = off)")
-		workers   = flag.Int("workers", 0, "worker goroutines for simulation, LAC generation and ranking (0 = all CPUs; results are identical for any value)")
-		timeout   = flag.Duration("timeout", 0, "stop after this long and keep the best result so far (0 = no limit)")
-		verbose   = flag.Bool("v", false, "log flow progress")
+		inFile     = flag.String("in", "", "input circuit file: .blif, .aag or .aig (alternative to -bench)")
+		benchName  = flag.String("bench", "", "built-in benchmark name (see -list)")
+		list       = flag.Bool("list", false, "list built-in benchmarks and exit")
+		metric     = flag.String("metric", "er", "error metric: er, nmed, mred or maxerr (certified, NMED-guided)")
+		threshold  = flag.Float64("threshold", 0.01, "error threshold Et")
+		maxError   = flag.Float64("maxerror", 0, "certified mode: exact worst-case normalized error bound enforced on every committed change (0 = off; -metric maxerr defaults it to -threshold)")
+		certBudget = flag.Int64("certbudget", 0, "CDCL conflict cap per SAT certification (0 = unbounded)")
+		outFile    = flag.String("out", "", "write the approximate circuit (.blif, .aag, .aig or .v)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		evalPats   = flag.Int("eval", 8192, "Monte-Carlo error evaluation patterns")
+		rounds     = flag.Int("n", 32, "initial care-set simulation rounds N")
+		lacLimit   = flag.Int("l", 1, "LAC limit per node L")
+		patience   = flag.Int("t", 5, "empty iterations before shrinking N (t)")
+		scale      = flag.Float64("r", 0.9, "shrink factor for N (r)")
+		flow       = flag.String("flow", "alsrac", "flow: alsrac, sasimi or mcmc")
+		target     = flag.String("target", "asic", "mapping target: asic or lut6")
+		maxDepth   = flag.Float64("maxdepth", 0, "reject changes exceeding this ratio of the original depth (0 = off)")
+		workers    = flag.Int("workers", 0, "worker goroutines for simulation, LAC generation and ranking (0 = all CPUs; results are identical for any value)")
+		timeout    = flag.Duration("timeout", 0, "stop after this long and keep the best result so far (0 = no limit)")
+		verbose    = flag.Bool("v", false, "log flow progress")
 
 		windowed    = flag.Bool("window", false, "windowed resubstitution: score LACs on bounded reconvergence-driven windows instead of full TFI cones (scales to very large AIGs)")
 		winMaxPIs   = flag.Int("window-max-pis", 0, "max window inputs (0 = default, negative = unbounded)")
@@ -66,6 +68,9 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	if strings.EqualFold(strings.TrimSpace(*metric), "maxerr") && *maxError == 0 {
+		*maxError = *threshold
+	}
 
 	g = alsrac.Optimize(g)
 	baseArea, baseDelay := measure(g, *target)
@@ -78,6 +83,8 @@ func main() {
 	opts.Patience = *patience
 	opts.Scale = *scale
 	opts.MaxDepthRatio = *maxDepth
+	opts.MaxError = *maxError
+	opts.CertConflictBudget = *certBudget
 	opts.Workers = *workers
 	opts.Windowed = *windowed
 	opts.WindowMaxPIs = *winMaxPIs
@@ -126,6 +133,16 @@ func main() {
 	fmt.Printf("delay      : %.1f -> %.1f (ratio %.2f%%)\n", baseDelay, delay, 100*delay/baseDelay)
 	fmt.Printf("final error: %.6g (%s, %d patterns)\n", res.FinalError, m, *evalPats)
 	fmt.Printf("changes    : %d applied in %d iterations, %v\n", res.Applied, res.Iterations, elapsed.Round(time.Millisecond))
+	if *maxError > 0 {
+		rejected := 0
+		for _, rec := range res.History {
+			if rec.Rejected {
+				rejected++
+			}
+		}
+		fmt.Printf("certified  : worst-case error <= %g proven for every commit, %d candidate(s) rejected\n",
+			*maxError, rejected)
+	}
 
 	if *outFile != "" {
 		if err := alsrac.WriteCircuitFile(*outFile, res.Graph); err != nil {
@@ -152,15 +169,17 @@ func load(inFile, benchName string) (*alsrac.Circuit, error) {
 }
 
 func parseMetric(s string) (alsrac.Metric, error) {
-	switch strings.ToLower(s) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "er":
 		return alsrac.ER, nil
-	case "nmed":
+	case "nmed", "maxerr":
+		// maxerr is the certified mode: NMED guides the search, the exact
+		// checker (Options.MaxError) bounds every commit.
 		return alsrac.NMED, nil
 	case "mred":
 		return alsrac.MRED, nil
 	}
-	return 0, fmt.Errorf("unknown metric %q (er, nmed, mred)", s)
+	return 0, fmt.Errorf("unknown metric %q (er, nmed, mred, maxerr)", s)
 }
 
 func measure(g *alsrac.Circuit, target string) (float64, float64) {

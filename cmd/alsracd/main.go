@@ -9,6 +9,13 @@
 //	curl 'localhost:8337/jobs/j000001/events'          # NDJSON progress
 //	curl 'localhost:8337/jobs/j000001/result?format=blif' > adder_approx.blif
 //
+// The certified job type proves an exact worst-case error bound on every
+// committed change (metric=maxerr, optionally maxerror= for a bound apart
+// from the threshold and certbudget= to cap SAT conflicts per proof):
+//
+//	curl -X POST --data-binary @adder.blif \
+//	    'localhost:8337/jobs?metric=maxerr&threshold=0.02'
+//
 // Jobs survive restarts: every job's spec, circuit and periodic session
 // checkpoints are persisted under -dir, and on startup interrupted jobs are
 // re-enqueued and resumed from their latest checkpoint — converging to the

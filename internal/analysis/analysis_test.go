@@ -120,6 +120,7 @@ func TestAnalyzersApplyToScopedPackages(t *testing.T) {
 		"repro/internal/core", "repro/internal/resub", "repro/internal/errest",
 		"repro/internal/sim", "repro/internal/aig", "repro/internal/wordops",
 		"repro/internal/service", "repro/internal/obs", "repro/internal/faultfs",
+		"repro/internal/exact", "repro/internal/exact/sat",
 	} {
 		if !DeterminismAnalyzer.AppliesTo(path) {
 			t.Errorf("determinism must apply to %s", path)

@@ -30,6 +30,7 @@ var CtxflowAnalyzer = &Analyzer{
 	AppliesTo: pathIn(
 		"internal/core", "internal/service", "internal/resub",
 		"internal/sim", "internal/window", "internal/errest",
+		"internal/exact", "internal/exact/sat",
 	),
 	RunModule: runCtxflow,
 }

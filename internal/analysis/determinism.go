@@ -33,6 +33,7 @@ var DeterminismAnalyzer = &Analyzer{
 		"internal/core", "internal/resub", "internal/errest",
 		"internal/sim", "internal/aig", "internal/wordops",
 		"internal/service", "internal/obs", "internal/faultfs",
+		"internal/exact", "internal/exact/sat",
 	),
 	Run: runDeterminism,
 }

@@ -13,7 +13,7 @@ import (
 	"repro/internal/errest"
 )
 
-// Checkpoint format (version 2, little-endian):
+// Checkpoint format (version 3, little-endian):
 //
 //	magic   "ALSRACKP"            8 bytes
 //	version uint32
@@ -21,16 +21,28 @@ import (
 //	metric  int64                 Options.Metric
 //	thresh  float64               Options.Threshold
 //	nEval   int64                 evaluation pattern budget (after clamping)
-//	depthCap, n, streak, stall, iterations, applied  int64
+//	maxErr  float64               Options.MaxError (0 = uncertified; v3)
+//	depthCap, n, streak, stall, iterations, applied, certRejected  int64
 //	curErr  float64
 //	sinceOpt int64, careSeed int64, careN int64, careOK uint8
 //	         (incremental-path state; zero/false on the legacy path)
 //	done    uint8, reason string  (uint32 length + bytes)
 //	history uint32 count, then per record:
-//	        iteration, rounds, candidates, ands int64; applied uint8; err float64
+//	        iteration, rounds, candidates, ands int64;
+//	        applied uint8; rejected uint8 (v3); err float64
 //	graphs  orig, cur as length-prefixed raw-codec blocks (aig.AppendRaw);
 //	        bestSame uint8 (1 when best == cur), else a third block
 //	crc     uint32 IEEE CRC-32 over everything above
+//
+// Version 3 extends version 2 with certified-mode state: the MaxError
+// bound joins the verified header (a resumed run with a different bound
+// would silently commit differently, so a mismatch is ErrMismatch), and
+// the rejection counter plus per-record rejection flags make a restored
+// certified session bitwise identical in its history and events. The
+// exact checker itself is derived state — it is rebuilt from the stored
+// reference graph and the supplied Options, exactly like the evaluator.
+// The fixed offsets of the version-2 header prefix (magic through nEval,
+// bytes [0:44)) are unchanged.
 //
 // The graphs are stored in the raw arena codec (aig.AppendRaw/FromRaw),
 // which preserves node ids, dead slots, the free list and per-slot epochs
@@ -53,7 +65,7 @@ import (
 
 const (
 	checkpointMagic   = "ALSRACKP"
-	checkpointVersion = 2
+	checkpointVersion = 3
 )
 
 // Restore failure classes. A structurally damaged checkpoint — torn write,
@@ -79,12 +91,14 @@ func (s *Session) Snapshot(w io.Writer) error {
 	putI64(&buf, int64(s.opts.Metric))
 	putF64(&buf, s.opts.Threshold)
 	putI64(&buf, int64(s.nEval))
+	putF64(&buf, s.opts.MaxError)
 	putI64(&buf, int64(s.depthCap))
 	putI64(&buf, int64(s.n))
 	putI64(&buf, int64(s.streak))
 	putI64(&buf, int64(s.stall))
 	putI64(&buf, int64(s.iterations))
 	putI64(&buf, int64(s.applied))
+	putI64(&buf, int64(s.certRejected))
 	putF64(&buf, s.curErr)
 	putI64(&buf, int64(s.sinceOpt))
 	putI64(&buf, s.careSeed)
@@ -100,6 +114,7 @@ func (s *Session) Snapshot(w io.Writer) error {
 		putI64(&buf, int64(rec.Candidates))
 		putI64(&buf, int64(rec.Ands))
 		putBool(&buf, rec.Applied)
+		putBool(&buf, rec.Rejected)
 		putF64(&buf, rec.Err)
 	}
 
@@ -152,12 +167,14 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 	metric := errest.Metric(d.i64())
 	threshold := d.f64()
 	nEval := int(d.i64())
+	maxError := d.f64()
 	depthCap := int(d.i64())
 	n := int(d.i64())
 	streak := int(d.i64())
 	stall := int(d.i64())
 	iterations := int(d.i64())
 	applied := int(d.i64())
+	certRejected := int(d.i64())
 	curErr := d.f64()
 	sinceOpt := int(d.i64())
 	careSeed := d.i64()
@@ -179,6 +196,7 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 			Ands:       int(d.i64()),
 		}
 		rec.Applied = d.bool()
+		rec.Rejected = d.bool()
 		rec.Err = d.f64()
 		history = append(history, rec)
 	}
@@ -217,6 +235,9 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 	if wantEval != nEval {
 		return nil, fmt.Errorf("core: %w: checkpoint evaluation budget %d, Options.EvalPatterns %d", ErrMismatch, nEval, wantEval)
 	}
+	if opts.MaxError != maxError {
+		return nil, fmt.Errorf("core: %w: checkpoint max error %v, Options.MaxError %v", ErrMismatch, maxError, opts.MaxError)
+	}
 
 	// Rebuild the derived machinery exactly as NewSession does, then
 	// overwrite the mutable state with the checkpointed values.
@@ -228,6 +249,7 @@ func Restore(r io.Reader, opts Options) (*Session, error) {
 	s.sinceOpt = sinceOpt
 	s.careSeed, s.careN, s.careOK = careSeed, careN, careOK
 	s.iterations, s.applied = iterations, applied
+	s.certRejected = certRejected
 	s.history = history
 	s.done, s.reason = done, reason
 	return s, nil

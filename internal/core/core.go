@@ -20,6 +20,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aig"
 	"repro/internal/errest"
@@ -233,6 +234,28 @@ type Options struct {
 	// (windowed when Windowed is set).
 	Generator Generator
 
+	// MaxError, when positive, switches the flow to certified mode: every
+	// winning candidate is certified by the exact checker (internal/exact)
+	// to keep the exact maximum arithmetic error of the circuit — over ALL
+	// inputs, not the sampled patterns — at most MaxError before it is
+	// committed. Candidates that fail certification are rejected and the
+	// flow continues (the rejection is counted in the history). The bound
+	// is normalized like NMED: max |ŷ−y| / (2^nPOs−1) ≤ MaxError. The
+	// circuit must have 1..64 outputs.
+	MaxError float64
+	// CertConflictBudget caps the SAT conflicts of one certification call
+	// (0 = unbounded). An exhausted budget rejects the candidate — the
+	// flow never commits an uncertified change.
+	CertConflictBudget int64
+	// CertNow, when set, timestamps certification calls for the checker's
+	// latency stats (pure go-forward observability; not serialized in
+	// checkpoints). nil reports zero latencies.
+	CertNow func() time.Time
+	// CertObserve, when set, receives one call per certification with the
+	// deciding backend, latency in seconds and SAT conflicts spent — the
+	// service layer's metrics hook. Not serialized.
+	CertObserve func(backend string, seconds float64, conflicts int64)
+
 	// Verbose, when non-nil, receives progress lines.
 	Verbose func(format string, args ...any)
 }
@@ -305,6 +328,7 @@ type IterRecord struct {
 	Rounds     int     // care-set rounds N in effect
 	Candidates int     // LACs generated
 	Applied    bool    // whether a LAC was applied
+	Rejected   bool    // whether the winner failed max-error certification
 	Err        float64 // cumulative error after the iteration
 	Ands       int     // AND count after the iteration
 }

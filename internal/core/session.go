@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/errest"
+	"repro/internal/exact"
 	"repro/internal/opt"
 	"repro/internal/sim"
 )
@@ -31,6 +32,14 @@ const (
 	EventThreshold EventKind = "threshold"
 	// EventDone: the session had already finished; no work was performed.
 	EventDone EventKind = "done"
+	// EventCertified: certified mode committed the best candidate after the
+	// exact checker proved its maximum error within Options.MaxError. The
+	// certified counterpart of EventApplied.
+	EventCertified EventKind = "certified"
+	// EventCertRejected: the best candidate passed the sampled threshold
+	// but failed exact max-error certification; it was dropped and the flow
+	// retries with fresh patterns, stall-guarded (reject-and-continue).
+	EventCertRejected EventKind = "rejected"
 )
 
 // Event describes the outcome of one Session.Step. It is the unit of
@@ -46,6 +55,12 @@ type Event struct {
 	Shrunk     bool      `json:"shrunk,omitempty"`
 	Done       bool      `json:"done"`
 	Reason     string    `json:"reason,omitempty"` // termination reason when Done
+
+	// Certified-mode fields (Options.MaxError > 0), set on the certified
+	// and rejected event kinds.
+	CertBackend string  `json:"cert_backend,omitempty"` // exact backend that decided
+	CertMaxErr  float64 `json:"cert_max_err,omitempty"` // exact max error when measured
+	Rejections  int     `json:"rejections,omitempty"`   // cumulative certification rejections
 }
 
 // Termination reasons reported in Event.Reason.
@@ -106,10 +121,17 @@ type Session struct {
 	careN     int
 	careOK    bool
 	sinceOpt  int // commits since the last re-optimization
-	genStale []bool
-	genCache any
-	epochs   []uint32   // scratch: epoch snapshot for StaleClosure
-	touched  []aig.Node // scratch: ReplaceNode touched list
+	genStale  []bool
+	genCache  any
+	epochs    []uint32   // scratch: epoch snapshot for StaleClosure
+	touched   []aig.Node // scratch: ReplaceNode touched list
+
+	// Certified mode (Options.MaxError > 0): the exact checker and the
+	// count of winners it rejected. The checker is derived state — it is
+	// rebuilt from orig and Options on restore; only the rejection count
+	// travels through checkpoints.
+	cert         *exact.Checker
+	certRejected int
 
 	iterations int
 	applied    int
@@ -178,6 +200,19 @@ func NewSession(g *aig.Graph, opts Options) *Session {
 	s.n = opts.InitialRounds
 	_, incOK := s.opts.Generator.(IncrementalGenerator)
 	s.inc = incOK && opts.MaxDepthRatio <= 0
+	if opts.MaxError > 0 {
+		chk, err := exact.New(g, exact.Config{
+			SATConflictBudget: opts.CertConflictBudget,
+			Now:               opts.CertNow,
+			Observe:           opts.CertObserve,
+		})
+		if err != nil {
+			// Same contract as errest's value metrics: a certified session
+			// needs the 64-bit output-value encoding.
+			panic("core: certified mode: " + err.Error())
+		}
+		s.cert = chk
+	}
 	return s
 }
 
@@ -279,6 +314,39 @@ func (s *Session) Step(ctx context.Context) (Event, error) {
 		return ev, nil
 	}
 
+	// Certified mode: prove the exact maximum error of the candidate
+	// circuit before anything is committed. The candidate is applied to a
+	// throwaway id-identical clone, so the working graph (and with it the
+	// incremental arenas) is untouched on rejection. A certification error
+	// (e.g. an exhausted SAT conflict budget) rejects too: the flow never
+	// commits a change it could not prove.
+	var cert exact.Certificate
+	if s.cert != nil {
+		candG := bestCand.Apply(s.cur.Clone())
+		var err error
+		cert, err = s.cert.Certify(candG, s.opts.MaxError)
+		if err != nil || !cert.OK {
+			s.certRejected++
+			s.stall++
+			// The same care patterns would re-elect the same winner: force a
+			// fresh draw so the next iteration can find a certifiable one.
+			s.careOK = false
+			rec.Rejected = true
+			rec.Err, rec.Ands = s.curErr, s.cur.NumAnds()
+			s.record(rec)
+			if err != nil {
+				s.logf("iter %d: certification error at node %d: %v", iter, bestCand.Node, err)
+			} else {
+				s.logf("iter %d: rejected LAC at node %d: exact max error %.5g > %.5g (%s)",
+					iter, bestCand.Node, cert.MaxErr, s.opts.MaxError, cert.Backend)
+			}
+			return Event{Kind: EventCertRejected, Iteration: iter, Rounds: s.n,
+				Candidates: len(cands), Err: s.curErr, Ands: s.cur.NumAnds(),
+				CertBackend: cert.Backend, CertMaxErr: cert.MaxErr,
+				Rejections: s.certRejected}, nil
+		}
+	}
+
 	prevAnds := s.cur.NumAnds()
 	prevErr := s.curErr
 	flushed := false
@@ -333,8 +401,15 @@ func (s *Session) Step(ctx context.Context) (Event, error) {
 	s.record(rec)
 	s.logf("iter %d: applied LAC at node %d, err %.5g, ands %d",
 		iter, bestCand.Node, s.curErr, s.cur.NumAnds())
-	return Event{Kind: EventApplied, Iteration: iter, Rounds: s.n, Candidates: len(cands),
-		Applied: true, Err: s.curErr, Ands: s.cur.NumAnds()}, nil
+	ev := Event{Kind: EventApplied, Iteration: iter, Rounds: s.n, Candidates: len(cands),
+		Applied: true, Err: s.curErr, Ands: s.cur.NumAnds()}
+	if s.cert != nil {
+		ev.Kind = EventCertified
+		ev.CertBackend = cert.Backend
+		ev.CertMaxErr = cert.MaxErr
+		ev.Rejections = s.certRejected
+	}
+	return ev, nil
 }
 
 // generateIncremental is the incremental produce path of Step. The care
@@ -508,6 +583,19 @@ func (s *Session) CurrentAnds() int { return s.cur.NumAnds() }
 
 // History returns the iteration trace so far (a live slice; do not mutate).
 func (s *Session) History() []IterRecord { return s.history }
+
+// CertRejections returns the number of winning candidates the exact
+// checker rejected (0 unless Options.MaxError is set).
+func (s *Session) CertRejections() int { return s.certRejected }
+
+// CertStats returns the exact checker's counters (the zero Stats when the
+// session is not in certified mode).
+func (s *Session) CertStats() exact.Stats {
+	if s.cert == nil {
+		return exact.Stats{}
+	}
+	return s.cert.Stats()
+}
 
 // Result finalizes the session outcome: the smallest circuit observed and
 // its measured error on the evaluation pattern set. It may be called on a

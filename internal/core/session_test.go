@@ -264,6 +264,7 @@ func TestRestoreRejectsMismatchedOptions(t *testing.T) {
 		{"metric", func(o *Options) { o.Metric = errest.NMED }},
 		{"threshold", func(o *Options) { o.Threshold = 0.5 }},
 		{"eval", func(o *Options) { o.EvalPatterns = 4096 }},
+		{"maxerror", func(o *Options) { o.MaxError = 0.5 }},
 	}
 	for _, tc := range cases {
 		bad := opts

@@ -1,0 +1,693 @@
+// Package exact certifies worst-case error bounds between an original
+// circuit and an approximate candidate — the exact counterpart to the
+// Monte-Carlo estimates of package errest. Where errest answers "what is
+// the average error on these sampled patterns", this package answers "is
+// the maximum arithmetic error over ALL inputs at most T", with a proof.
+//
+// Two backends share one miter construction (both circuits imported into a
+// single structurally hashed graph over shared primary inputs, so
+// identical cones merge and the per-output difference functions fold):
+//
+//   - An exhaustive bit-parallel evaluator for small support: when the
+//     union support of the difference functions (plus the original output
+//     bits they flip) has at most Config.MaxExhaustivePIs inputs, all 2^s
+//     patterns are enumerated 64 at a time in bounded blocks, yielding the
+//     exact maximum error distance — and, for free, the exact error rate,
+//     exact NMED and the worst-case output flip count over the whole space.
+//
+//   - A CNF backend for everything else: the miter grows a two's-complement
+//     |orig − approx| datapath and a greater-than-T comparator, the cone of
+//     the violation output is Tseitin-encoded, and the self-contained CDCL
+//     solver of package exact/sat decides it. UNSAT is the certificate;
+//     a SAT model is replayed through the simulator to a concrete violating
+//     input pattern before it is reported, so the solver never has the
+//     final word on a violation.
+//
+// Both backends agree by construction, and the fuzz target FuzzMiterSAT
+// holds them to it. The checker is deterministic: no wall clock (timing
+// uses the injected Config.Now) and no map iteration participates in any
+// verdict.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/exact/sat"
+	"repro/internal/sim"
+)
+
+// Backend names reported in Certificate.Backend and observability labels.
+const (
+	BackendTrivial    = "trivial"
+	BackendExhaustive = "exhaustive"
+	BackendSAT        = "sat"
+)
+
+// ErrBudget is returned when the SAT backend exhausts its conflict budget
+// before reaching a verdict. Callers should treat it as "not certified".
+var ErrBudget = errors.New("exact: SAT conflict budget exhausted")
+
+// DefaultMaxExhaustivePIs is the support size up to which the exhaustive
+// backend is preferred: 2^24 patterns at 64 per word is a quarter-million
+// simulation words, comfortably cheaper than a SAT call on the same cone.
+const DefaultMaxExhaustivePIs = 24
+
+// defaultBlockWords bounds the per-block simulation footprint of the
+// exhaustive backend (64 Ki patterns per block).
+const defaultBlockWords = 1024
+
+// Config tunes a Checker. The zero value picks the production defaults.
+type Config struct {
+	// MaxExhaustivePIs is the largest difference-support size decided by
+	// exhaustive enumeration; larger cones go to the SAT backend. 0 means
+	// DefaultMaxExhaustivePIs; a negative value forces the SAT backend for
+	// every instance (a testing knob that lets the exhaustive evaluator
+	// serve as cross-check oracle).
+	MaxExhaustivePIs int
+	// BlockWords is the simulation block size of the exhaustive backend in
+	// 64-pattern words. 0 means defaultBlockWords.
+	BlockWords int
+	// SATConflictBudget caps the conflicts of one SAT call; 0 = unbounded.
+	// An exhausted budget surfaces as ErrBudget.
+	SATConflictBudget int64
+	// Now, when set, timestamps backend calls for Stats and Observe. nil
+	// reports zero latencies (the checker itself never reads a wall clock).
+	Now func() time.Time
+	// Observe, when set, receives one call per certification with the
+	// backend that decided it, the latency in seconds (0 when Now is nil)
+	// and the SAT conflicts spent (0 for non-SAT backends). The service
+	// layer hangs its metrics here.
+	Observe func(backend string, seconds float64, conflicts int64)
+}
+
+// Stats counts what a Checker has done. Latency fields are zero unless
+// Config.Now was set.
+type Stats struct {
+	Calls             int64
+	TrivialCalls      int64
+	ExhaustiveCalls   int64
+	SATCalls          int64
+	Rejections        int64 // certificates with OK == false
+	SATConflicts      int64
+	ExhaustiveSeconds float64
+	SATSeconds        float64
+}
+
+// Certificate is the outcome of one certification call.
+type Certificate struct {
+	// OK reports that the maximum error distance is ≤ Threshold, exactly.
+	OK bool
+	// Backend that produced the verdict: BackendTrivial (the difference
+	// folded to constant false in the miter), BackendExhaustive or
+	// BackendSAT.
+	Backend string
+	// Threshold is the integer error-distance bound certified against.
+	Threshold uint64
+	// SupportSize is the number of primary inputs the difference depends on.
+	SupportSize int
+	// MaxED is the exact maximum error distance (exhaustive backend), or
+	// the error distance of the found witness (SAT backend, OK == false).
+	// It is 0 for a SAT certificate of OK — UNSAT proves the bound without
+	// computing the true maximum.
+	MaxED uint64
+	// MaxErr is MaxED normalized by 2^nPOs − 1 (the NMED scale).
+	MaxErr float64
+	// ER, NMED and MaxFlips are exact whole-space measurements, filled by
+	// the exhaustive backend only: error rate, normalized mean error
+	// distance, and the worst-case number of flipped outputs.
+	ER       float64
+	NMED     float64
+	MaxFlips int
+	// Conflicts spent by the SAT backend (0 otherwise).
+	Conflicts int64
+	// Witness, when OK is false, is a primary-input assignment whose error
+	// distance exceeds Threshold (inputs outside the support are false).
+	// It has been replayed through the simulator, not just read off a model.
+	Witness []bool
+}
+
+// Checker certifies candidate graphs against one original circuit. It is
+// not safe for concurrent use; the flow certifies one candidate at a time.
+type Checker struct {
+	cfg    Config
+	orig   *aig.Graph
+	nPIs   int
+	nPOs   int
+	maxVal float64 // 2^nPOs − 1
+	stats  Stats
+}
+
+// New builds a Checker for the original circuit. The arithmetic error
+// distance reads the outputs as an unsigned binary number (PO 0 least
+// significant, as in errest), so the circuit must have at most 64 outputs.
+func New(orig *aig.Graph, cfg Config) (*Checker, error) {
+	if orig.NumPOs() > 64 {
+		return nil, fmt.Errorf("exact: %d outputs exceed the 64-bit value encoding", orig.NumPOs())
+	}
+	if orig.NumPOs() == 0 {
+		return nil, errors.New("exact: circuit has no outputs")
+	}
+	if cfg.MaxExhaustivePIs == 0 {
+		cfg.MaxExhaustivePIs = DefaultMaxExhaustivePIs
+	}
+	if cfg.BlockWords <= 0 {
+		cfg.BlockWords = defaultBlockWords
+	}
+	return &Checker{
+		cfg:    cfg,
+		orig:   orig,
+		nPIs:   orig.NumPIs(),
+		nPOs:   orig.NumPOs(),
+		maxVal: math.Pow(2, float64(orig.NumPOs())) - 1,
+	}, nil
+}
+
+// Stats returns a snapshot of the checker's counters.
+func (c *Checker) Stats() Stats { return c.stats }
+
+// EDThreshold converts a normalized maximum-error bound (the NMED scale:
+// max |ŷ−y| / (2^nPOs−1) ≤ bound) into the equivalent integer
+// error-distance threshold. Error distances are integers, so the bound is
+// exact: floor with a half-ULP guard against bounds written as decimal
+// fractions.
+func (c *Checker) EDThreshold(bound float64) uint64 {
+	if bound <= 0 {
+		return 0
+	}
+	t := math.Floor(bound*c.maxVal + 1e-9)
+	if t >= c.maxVal {
+		return uint64(c.maxVal)
+	}
+	return uint64(t)
+}
+
+// Certify certifies that the exact maximum error of approx against the
+// original is at most the normalized bound (see EDThreshold).
+func (c *Checker) Certify(approx *aig.Graph, bound float64) (Certificate, error) {
+	return c.CertifyED(approx, c.EDThreshold(bound))
+}
+
+// CertifyED certifies that max_x |value_orig(x) − value_approx(x)| ≤ maxED,
+// over every input assignment x. The certificate is exact in both
+// directions: OK true is a proof of the bound, OK false comes with a
+// replayed witness input exceeding it.
+func (c *Checker) CertifyED(approx *aig.Graph, maxED uint64) (Certificate, error) {
+	c.stats.Calls++
+	cert, err := c.certify(approx, maxED)
+	if err == nil && !cert.OK {
+		c.stats.Rejections++
+	}
+	return cert, err
+}
+
+// MaxError measures the exact whole-space error of approx against the
+// original with the exhaustive backend: maximum error distance, error
+// rate, NMED and worst-case flip count. It fails when the difference
+// support exceeds the exhaustive capacity (certification against a bound
+// does not — CertifyED switches to SAT there).
+func (c *Checker) MaxError(approx *aig.Graph) (Certificate, error) {
+	m, err := c.buildMiter(approx)
+	if err != nil {
+		return Certificate{}, err
+	}
+	if m.trivial() {
+		return Certificate{OK: true, Backend: BackendTrivial}, nil
+	}
+	cap := c.cfg.MaxExhaustivePIs
+	if cap < 0 {
+		cap = DefaultMaxExhaustivePIs
+	}
+	if len(m.support) > cap {
+		return Certificate{}, fmt.Errorf("exact: support %d exceeds exhaustive capacity %d", len(m.support), cap)
+	}
+	cert := c.exhaustive(m, math.MaxUint64, false)
+	cert.OK = true // measurement, not a bound check
+	cert.Threshold = 0
+	return cert, nil
+}
+
+func (c *Checker) certify(approx *aig.Graph, maxED uint64) (Certificate, error) {
+	m, err := c.buildMiter(approx)
+	if err != nil {
+		return Certificate{}, err
+	}
+	if m.trivial() {
+		c.stats.TrivialCalls++
+		c.observe(BackendTrivial, 0, 0)
+		return Certificate{OK: true, Backend: BackendTrivial, Threshold: maxED}, nil
+	}
+	if c.cfg.MaxExhaustivePIs >= 0 && len(m.support) <= c.cfg.MaxExhaustivePIs {
+		start := c.now()
+		cert := c.exhaustive(m, maxED, true)
+		secs := c.since(start)
+		c.stats.ExhaustiveCalls++
+		c.stats.ExhaustiveSeconds += secs
+		c.observe(BackendExhaustive, secs, 0)
+		return cert, nil
+	}
+	start := c.now()
+	cert, err := c.satCertify(m, maxED)
+	secs := c.since(start)
+	c.stats.SATCalls++
+	c.stats.SATSeconds += secs
+	c.stats.SATConflicts += cert.Conflicts
+	c.observe(BackendSAT, secs, cert.Conflicts)
+	return cert, err
+}
+
+func (c *Checker) now() time.Time {
+	if c.cfg.Now == nil {
+		return time.Time{}
+	}
+	return c.cfg.Now()
+}
+
+func (c *Checker) since(start time.Time) float64 {
+	if c.cfg.Now == nil {
+		return 0
+	}
+	return c.cfg.Now().Sub(start).Seconds()
+}
+
+func (c *Checker) observe(backend string, secs float64, conflicts int64) {
+	if c.cfg.Observe != nil {
+		c.cfg.Observe(backend, secs, conflicts)
+	}
+}
+
+// miter is both circuits imported into one structurally hashed graph over
+// shared primary inputs.
+type miter struct {
+	g       *aig.Graph
+	origPOs []aig.Lit // original output bits, LSB first
+	apprPOs []aig.Lit // approximate output bits
+	diff    []aig.Lit // per-output XOR; strash folds identical cones to const
+	support []int     // PI indices the error distance depends on, ascending
+}
+
+// trivial reports that every difference folded to constant false: the
+// candidate is exactly equivalent and any bound holds.
+func (m *miter) trivial() bool {
+	for _, d := range m.diff {
+		if d != aig.LitFalse {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Checker) buildMiter(approx *aig.Graph) (*miter, error) {
+	if approx.NumPIs() != c.nPIs || approx.NumPOs() != c.nPOs {
+		return nil, fmt.Errorf("exact: interface mismatch: original %d PIs/%d POs, candidate %d PIs/%d POs",
+			c.nPIs, c.nPOs, approx.NumPIs(), approx.NumPOs())
+	}
+	g := aig.New()
+	pis := make([]aig.Lit, c.nPIs)
+	for i := 0; i < c.nPIs; i++ {
+		pis[i] = g.AddPI(c.orig.PIName(i))
+	}
+	m := &miter{
+		g:       g,
+		origPOs: importGraph(g, c.orig, pis),
+		apprPOs: importGraph(g, approx, pis),
+	}
+	m.diff = make([]aig.Lit, c.nPOs)
+	for o := 0; o < c.nPOs; o++ {
+		m.diff[o] = g.Xor(m.origPOs[o], m.apprPOs[o])
+	}
+
+	// The error distance at input x is |Σ_{o: d_o(x)} ±2^o| with the sign
+	// of each term set by the ORIGINAL output bit, so the support is the
+	// union of every non-constant difference cone plus the original output
+	// cones at positions where the difference can fire at all. A single
+	// backward id sweep marks the union (fanin ids are always smaller).
+	mask := make([]bool, g.NumNodes())
+	var maxSeed aig.Node
+	seed := func(l aig.Lit) {
+		if n := l.Node(); n != 0 {
+			mask[n] = true
+			if n > maxSeed {
+				maxSeed = n
+			}
+		}
+	}
+	for o := 0; o < c.nPOs; o++ {
+		if m.diff[o] == aig.LitFalse {
+			continue
+		}
+		seed(m.diff[o])
+		seed(m.origPOs[o])
+	}
+	for i := maxSeed; i >= 1; i-- {
+		if !mask[i] || !g.IsAnd(i) {
+			continue
+		}
+		mask[g.Fanin0(i).Node()] = true
+		mask[g.Fanin1(i).Node()] = true
+	}
+	for i := 0; i < c.nPIs; i++ {
+		if mask[pis[i].Node()] {
+			m.support = append(m.support, i)
+		}
+	}
+	return m, nil
+}
+
+// importGraph rebuilds the live cone of src inside dst, mapping src's i-th
+// primary input to the literal pis[i]. It returns src's output literals
+// expressed in dst. The pass is iterative over node ids (fanin ids are
+// always smaller than the node id), so arbitrarily deep circuits import
+// without recursion, and dead slots in src are skipped entirely.
+func importGraph(dst *aig.Graph, src *aig.Graph, pis []aig.Lit) []aig.Lit {
+	n := src.NumNodes()
+	live := make([]bool, n)
+	for _, po := range src.POs() {
+		live[po.Node()] = true
+	}
+	for i := n - 1; i >= 1; i-- {
+		if !live[i] || !src.IsAnd(aig.Node(i)) {
+			continue
+		}
+		live[src.Fanin0(aig.Node(i)).Node()] = true
+		live[src.Fanin1(aig.Node(i)).Node()] = true
+	}
+	m := make([]aig.Lit, n)
+	m[0] = aig.LitFalse
+	for i, pi := range src.PIs() {
+		m[pi] = pis[i]
+	}
+	for i := 1; i < n; i++ {
+		nd := aig.Node(i)
+		if !live[i] || !src.IsAnd(nd) {
+			continue
+		}
+		f0, f1 := src.Fanin0(nd), src.Fanin1(nd)
+		a := m[f0.Node()].NotCond(f0.IsCompl())
+		b := m[f1.Node()].NotCond(f1.IsCompl())
+		m[i] = dst.And(a, b)
+	}
+	pos := make([]aig.Lit, src.NumPOs())
+	for i, po := range src.POs() {
+		pos[i] = m[po.Node()].NotCond(po.IsCompl())
+	}
+	return pos
+}
+
+// exhaustive enumerates all 2^s assignments of the miter's support,
+// simulating the miter in bounded blocks of 64-pattern words, and computes
+// the exact maximum error distance along with whole-space ER, NMED and the
+// worst-case flip count. Inputs outside the support are held at false —
+// the error distance provably does not depend on them. When earlyExit is
+// set, enumeration stops at the first pattern exceeding maxED.
+func (c *Checker) exhaustive(m *miter, maxED uint64, earlyExit bool) Certificate {
+	s := len(m.support)
+	total := uint64(1) << uint(s)
+	totalWords := int((total + 63) / 64)
+	blockWords := c.cfg.BlockWords
+	if blockWords > totalWords {
+		blockWords = totalWords
+	}
+
+	pats := &sim.Patterns{Words: blockWords, Valid: 64 * blockWords, In: make([][]uint64, c.nPIs)}
+	zero := make([]uint64, blockWords)
+	for i := range pats.In {
+		pats.In[i] = zero
+	}
+	supWords := make([][]uint64, s)
+	for j := range supWords {
+		supWords[j] = make([]uint64, blockWords)
+		pats.In[m.support[j]] = supWords[j]
+	}
+	// Support bits below 6 cycle inside every word with period 2^j.
+	for j := 0; j < s && j < 6; j++ {
+		var mask uint64
+		for b := uint(0); b < 64; b++ {
+			if b>>uint(j)&1 == 1 {
+				mask |= 1 << b
+			}
+		}
+		w := supWords[j]
+		for i := range w {
+			w[i] = mask
+		}
+	}
+
+	cert := Certificate{Backend: BackendExhaustive, Threshold: maxED, SupportSize: s}
+	var (
+		bad      uint64 // patterns with any flipped output
+		sumED    uint64
+		bestED   uint64
+		bestIdx  uint64
+		maxFlips int
+		valsO    [64]uint64
+		valsA    [64]uint64
+	)
+
+	for base := 0; base < totalWords; base += blockWords {
+		nw := blockWords
+		if base+nw > totalWords {
+			nw = totalWords - base
+		}
+		// Support bits ≥ 6 are constant within a word: bit j of the global
+		// pattern index selects all-ones on words where it is set.
+		for j := 6; j < s; j++ {
+			w := supWords[j]
+			for i := 0; i < nw; i++ {
+				if (uint64(base+i)>>uint(j-6))&1 == 1 {
+					w[i] = ^uint64(0)
+				} else {
+					w[i] = 0
+				}
+			}
+		}
+		vecs := sim.Simulate(m.g, pats)
+		for w := 0; w < nw; w++ {
+			transposeLits(vecs, m.origPOs, w, valsO[:])
+			transposeLits(vecs, m.apprPOs, w, valsA[:])
+			gbase := uint64(base+w) * 64
+			hi := 64
+			if rem := total - gbase; rem < 64 {
+				hi = int(rem)
+			}
+			for b := 0; b < hi; b++ {
+				vo, va := valsO[b], valsA[b]
+				d := vo ^ va
+				if d == 0 {
+					continue
+				}
+				bad++
+				if fl := bits.OnesCount64(d); fl > maxFlips {
+					maxFlips = fl
+				}
+				var ed uint64
+				if vo >= va {
+					ed = vo - va
+				} else {
+					ed = va - vo
+				}
+				sumED += ed
+				if ed > bestED {
+					bestED, bestIdx = ed, gbase+uint64(b)
+				}
+				if earlyExit && ed > maxED {
+					vecs.Release()
+					cert.MaxED = ed
+					cert.MaxErr = float64(ed) / c.maxVal
+					cert.MaxFlips = maxFlips
+					cert.Witness = c.witness(m.support, gbase+uint64(b))
+					return cert
+				}
+			}
+		}
+		vecs.Release()
+	}
+
+	space := math.Ldexp(1, s) // 2^s, exact
+	cert.OK = bestED <= maxED
+	cert.MaxED = bestED
+	cert.MaxErr = float64(bestED) / c.maxVal
+	cert.ER = float64(bad) / space
+	cert.NMED = float64(sumED) / space / c.maxVal
+	cert.MaxFlips = maxFlips
+	if !cert.OK {
+		cert.Witness = c.witness(m.support, bestIdx)
+	}
+	return cert
+}
+
+// witness expands a support-space pattern index into a full primary-input
+// assignment (non-support inputs false).
+func (c *Checker) witness(support []int, idx uint64) []bool {
+	w := make([]bool, c.nPIs)
+	for j, pi := range support {
+		w[pi] = idx>>uint(j)&1 == 1
+	}
+	return w
+}
+
+// transposeLits extracts the 64 per-pattern output values encoded in word
+// index w of the PO literals: vals[b] has bit o equal to pattern b of
+// pos[o]. The complement convention matches sim.Vectors.LitWords.
+func transposeLits(v *sim.Vectors, pos []aig.Lit, w int, vals []uint64) {
+	for b := range vals {
+		vals[b] = 0
+	}
+	for o, po := range pos {
+		ws, inv := v.LitWords(po)
+		word := ws[w] ^ inv
+		for ; word != 0; word &= word - 1 {
+			vals[bits.TrailingZeros64(word)] |= 1 << uint(o)
+		}
+	}
+}
+
+// satCertify decides max ED > maxED with the CNF backend: the miter grows
+// an |orig − approx| datapath and a greater-than-maxED comparator, the
+// violation cone is Tseitin-encoded, and the CDCL solver of exact/sat
+// decides it. UNSAT certifies the bound. A model is replayed through the
+// simulator before it is believed.
+func (c *Checker) satCertify(m *miter, maxED uint64) (Certificate, error) {
+	cert := Certificate{Backend: BackendSAT, Threshold: maxED, SupportSize: len(m.support)}
+	if maxED >= uint64(c.maxVal) {
+		// No error distance can exceed 2^k − 1.
+		cert.OK = true
+		return cert, nil
+	}
+	viol := buildViolation(m, maxED)
+	switch viol {
+	case aig.LitFalse:
+		cert.OK = true
+		return cert, nil
+	case aig.LitTrue:
+		// Every input violates; replay the all-false pattern.
+		return c.replay(m, cert, make([]bool, c.nPIs), maxED)
+	}
+
+	solver := sat.New()
+	if c.cfg.SATConflictBudget > 0 {
+		solver.SetConflictBudget(c.cfg.SATConflictBudget)
+	}
+	g := m.g
+	cone := g.TFICone(viol.Node())
+	varOf := make(map[aig.Node]sat.Var, len(cone))
+	for _, n := range cone { // ascending id order: deterministic numbering
+		varOf[n] = solver.NewVar()
+	}
+	toSAT := func(l aig.Lit) sat.Lit { return sat.MkLit(varOf[l.Node()], l.IsCompl()) }
+	for _, n := range cone {
+		if !g.IsAnd(n) {
+			continue
+		}
+		vn := sat.MkLit(varOf[n], false)
+		a, b := toSAT(g.Fanin0(n)), toSAT(g.Fanin1(n))
+		solver.AddClause(vn.Not(), a)
+		solver.AddClause(vn.Not(), b)
+		solver.AddClause(vn, a.Not(), b.Not())
+	}
+	solver.AddClause(toSAT(viol))
+
+	status := solver.Solve()
+	cert.Conflicts = solver.Conflicts()
+	switch status {
+	case sat.Unsat:
+		cert.OK = true
+		return cert, nil
+	case sat.Unknown:
+		return cert, fmt.Errorf("%w (after %d conflicts)", ErrBudget, cert.Conflicts)
+	}
+	witness := make([]bool, c.nPIs)
+	for i := 0; i < c.nPIs; i++ {
+		if v, ok := varOf[m.g.PI(i)]; ok {
+			witness[i] = solver.Value(v)
+		}
+	}
+	return c.replay(m, cert, witness, maxED)
+}
+
+// replay simulates the witness input through the miter and confirms its
+// error distance exceeds maxED; a witness that does not replay is an
+// internal inconsistency and is reported as an error, never as a verdict.
+func (c *Checker) replay(m *miter, cert Certificate, witness []bool, maxED uint64) (Certificate, error) {
+	pats := &sim.Patterns{Words: 1, Valid: 1, In: make([][]uint64, c.nPIs)}
+	for i := range pats.In {
+		w := make([]uint64, 1)
+		if witness[i] {
+			w[0] = 1
+		}
+		pats.In[i] = w
+	}
+	vecs := sim.Simulate(m.g, pats)
+	var vo, va uint64
+	for o := 0; o < c.nPOs; o++ {
+		if vecs.LitBit(m.origPOs[o], 0) {
+			vo |= 1 << uint(o)
+		}
+		if vecs.LitBit(m.apprPOs[o], 0) {
+			va |= 1 << uint(o)
+		}
+	}
+	vecs.Release()
+	var ed uint64
+	if vo >= va {
+		ed = vo - va
+	} else {
+		ed = va - vo
+	}
+	if ed <= maxED {
+		return cert, fmt.Errorf("exact: SAT witness does not replay: ED %d ≤ threshold %d", ed, maxED)
+	}
+	cert.OK = false
+	cert.MaxED = ed
+	cert.MaxErr = float64(ed) / c.maxVal
+	cert.Witness = witness
+	return cert, nil
+}
+
+// buildViolation grows |A − B| > T inside the miter graph and returns the
+// violation literal. A and B are the original and approximate output
+// vectors read as unsigned integers; the datapath is a (k+1)-bit
+// two's-complement subtraction in both directions, a sign-selected
+// absolute value, and an MSB-first greater-than-constant comparator.
+func buildViolation(m *miter, t uint64) aig.Lit {
+	g := m.g
+	k := len(m.origPOs)
+	width := k + 1
+	sub := func(a, b []aig.Lit) []aig.Lit {
+		// a − b = a + ^b + 1 over width bits, zero-extended operands.
+		d := make([]aig.Lit, width)
+		carry := aig.LitTrue
+		for i := 0; i < width; i++ {
+			ai, bi := aig.LitFalse, aig.LitTrue // zero-extension: ^0 = 1
+			if i < k {
+				ai, bi = a[i], b[i].Not()
+			}
+			axb := g.Xor(ai, bi)
+			d[i] = g.Xor(axb, carry)
+			carry = g.Or(g.And(ai, bi), g.And(carry, axb))
+		}
+		return d
+	}
+	ab := sub(m.origPOs, m.apprPOs)
+	ba := sub(m.apprPOs, m.origPOs)
+	sign := ab[width-1] // 1 iff A < B, then |A−B| = B−A
+	abs := make([]aig.Lit, width)
+	for i := range abs {
+		abs[i] = g.Mux(sign, ba[i], ab[i])
+	}
+	gt, eq := aig.LitFalse, aig.LitTrue
+	for i := width - 1; i >= 0; i-- {
+		bit := abs[i]
+		if t>>uint(i)&1 == 1 {
+			eq = g.And(eq, bit)
+		} else {
+			gt = g.Or(gt, g.And(eq, bit))
+			eq = g.And(eq, bit.Not())
+		}
+	}
+	return gt
+}

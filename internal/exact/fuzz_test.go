@@ -1,0 +1,64 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzMiterSAT is the PR's fuzz satellite: on random small AIG pairs and
+// random thresholds, the CDCL backend's verdict must equal the exhaustive
+// evaluator's, and every SAT model must replay to an input pattern whose
+// error distance actually exceeds the threshold. The instance is derived
+// deterministically from the fuzzed scalars, so every crash reproduces.
+func FuzzMiterSAT(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint8(12), uint64(0))
+	f.Add(int64(2), uint8(6), uint8(5), uint8(30), uint64(3))
+	f.Add(int64(3), uint8(2), uint8(1), uint8(4), uint64(1))
+	f.Add(int64(99), uint8(8), uint8(6), uint8(40), uint64(17))
+	f.Fuzz(func(t *testing.T, seed int64, nPIsRaw, nPOsRaw, nAndsRaw uint8, threshold uint64) {
+		nPIs := 1 + int(nPIsRaw%8) // 1..8
+		nPOs := 1 + int(nPOsRaw%6) // 1..6
+		nAnds := 1 + int(nAndsRaw%48)
+		rng := rand.New(rand.NewSource(seed))
+		orig := randGraph(rng, nPIs, nPOs, nAnds)
+		appr := mutate(orig, rng)
+		maxVal := uint64(1)<<uint(nPOs) - 1
+		T := threshold % (maxVal + 2) // include the clamp region
+
+		exh, err := New(orig, Config{MaxExhaustivePIs: 30, BlockWords: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		forced, err := New(orig, Config{MaxExhaustivePIs: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ce, err := exh.CertifyED(appr, T)
+		if err != nil {
+			t.Fatalf("exhaustive: %v", err)
+		}
+		cs, err := forced.CertifyED(appr, T)
+		if err != nil {
+			t.Fatalf("sat: %v", err)
+		}
+		if ce.OK != cs.OK {
+			t.Fatalf("verdicts disagree at T=%d: exhaustive %v (maxED %d), sat %v",
+				T, ce.OK, ce.MaxED, cs.OK)
+		}
+		maxED, _, _, _ := bruteMeasure(orig, appr)
+		if want := maxED <= T; ce.OK != want {
+			t.Fatalf("verdict %v at T=%d, brute-force max ED %d", ce.OK, T, maxED)
+		}
+		for _, cert := range []Certificate{ce, cs} {
+			if cert.OK {
+				continue
+			}
+			if len(cert.Witness) != nPIs {
+				t.Fatalf("%s witness length %d, want %d", cert.Backend, len(cert.Witness), nPIs)
+			}
+			if ed := edAt(orig, appr, cert.Witness); ed <= T {
+				t.Fatalf("%s witness ED %d ≤ threshold %d", cert.Backend, ed, T)
+			}
+		}
+	})
+}

@@ -1,0 +1,535 @@
+// Package sat is a small, self-contained CDCL SAT solver: two watched
+// literals per clause, first-UIP conflict-clause learning, VSIDS-style
+// activity ordering with phase saving, and Luby restarts. It exists to
+// decide the miter instances of package exact without external
+// dependencies, and it is fully deterministic: the same sequence of
+// NewVar/AddClause calls produces the same verdict, the same model and the
+// same conflict count on every run — activities break ties by variable
+// index, and no map iteration or wall clock participates in any decision.
+//
+// The solver is deliberately minimal. There is no clause deletion,
+// preprocessing or literal-block-distance machinery: certification
+// instances are bounded cones of a single circuit, a regime where the
+// watched-literal core with learning is already orders of magnitude beyond
+// what plain enumeration could decide, and minimality keeps the solver
+// auditable against the exhaustive oracle (see package exact's fuzz
+// target).
+package sat
+
+// Var is a 0-based propositional variable index.
+type Var int32
+
+// Lit is a literal: variable index shifted left once, low bit set for
+// negation — the same packing as aig.Lit, so encoders translate directly.
+type Lit int32
+
+// MkLit builds the literal for v, negated when neg is true.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// IsNeg reports whether the literal is negated.
+func (l Lit) IsNeg() bool { return l&1 == 1 }
+
+// Not returns the complemented literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Status is a solver verdict.
+type Status int
+
+const (
+	// Unknown: the conflict budget ran out before a verdict.
+	Unknown Status = iota
+	// Sat: a satisfying assignment was found (read it with Value).
+	Sat
+	// Unsat: the instance has no satisfying assignment.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	}
+	return "UNKNOWN"
+}
+
+const (
+	varUndef   int8 = 0
+	varTrue    int8 = 1
+	varFalse   int8 = -1
+	noReason        = int32(-1)
+	restartMul      = 100 // conflicts per Luby unit
+)
+
+// Solver is a single-use CDCL instance: add variables and clauses, then
+// call Solve. It is not safe for concurrent use.
+type Solver struct {
+	clauses [][]Lit   // problem + learned clauses; first two lits are watched
+	watches [][]int32 // per literal: clause indices watching it
+
+	assign []int8  // per var: varUndef/varTrue/varFalse
+	level  []int32 // per var: decision level of its assignment
+	reason []int32 // per var: clause index that implied it, or noReason
+	phase  []bool  // per var: saved polarity for the next decision
+
+	trail    []Lit
+	trailLim []int32 // trail length at each decision level
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    varHeap
+
+	seen    []bool // scratch for analyze
+	toClear []Var  // scratch for analyze
+
+	ok        bool // false once a top-level conflict is known
+	conflicts int64
+	budget    int64 // remaining conflicts; negative = unbounded
+}
+
+// New returns an empty solver with no conflict budget.
+func New() *Solver {
+	s := &Solver{ok: true, varInc: 1, budget: -1}
+	s.order.act = &s.activity
+	return s
+}
+
+// SetConflictBudget caps the total number of conflicts Solve may spend;
+// n <= 0 removes the cap. When the cap is hit Solve returns Unknown.
+func (s *Solver) SetConflictBudget(n int64) {
+	if n <= 0 {
+		s.budget = -1
+	} else {
+		s.budget = n
+	}
+}
+
+// Conflicts returns the number of conflicts encountered so far.
+func (s *Solver) Conflicts() int64 { return s.conflicts }
+
+// NumVars returns the number of variables created.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar creates a fresh variable and returns its index.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assign))
+	s.assign = append(s.assign, varUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, noReason)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// value returns the literal's current truth value.
+func (s *Solver) value(l Lit) int8 {
+	a := s.assign[l.Var()]
+	if l.IsNeg() {
+		return -a
+	}
+	return a
+}
+
+// Value returns the variable's value in the model after Solve returned Sat.
+// Variables never touched by propagation or decisions report false.
+func (s *Solver) Value(v Var) bool { return s.assign[v] == varTrue }
+
+// AddClause adds a clause. It must be called at decision level 0 (i.e.
+// before Solve, or between Solve calls after a full restart). The clause is
+// simplified against the top-level assignment; duplicate literals are
+// merged and tautologies dropped. It returns false when the clause (or a
+// previous one) makes the instance trivially unsatisfiable.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	// Sort by literal value for dedup/tautology detection: insertion sort,
+	// clauses are short.
+	c := append([]Lit(nil), lits...)
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j] < c[j-1]; j-- {
+			c[j], c[j-1] = c[j-1], c[j]
+		}
+	}
+	out := c[:0]
+	var prev Lit = -1
+	for _, l := range c {
+		if l == prev {
+			continue // duplicate
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology: x ∨ ¬x
+		}
+		switch s.value(l) {
+		case varTrue:
+			return true // already satisfied at level 0
+		case varFalse:
+			prev = l
+			continue // false at level 0: drop the literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], noReason)
+		if s.propagate() >= 0 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attachClause(out)
+	return true
+}
+
+func (s *Solver) attachClause(c []Lit) int32 {
+	ci := int32(len(s.clauses))
+	s.clauses = append(s.clauses, c)
+	s.watches[c[0]] = append(s.watches[c[0]], ci)
+	s.watches[c[1]] = append(s.watches[c[1]], ci)
+	return ci
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from int32) {
+	v := l.Var()
+	if l.IsNeg() {
+		s.assign[v] = varFalse
+	} else {
+		s.assign[v] = varTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation to fixpoint and returns the index of a
+// conflicting clause, or -1.
+func (s *Solver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		falseLit := p.Not()
+		ws := s.watches[falseLit]
+		j := 0
+	nextClause:
+		for i := 0; i < len(ws); i++ {
+			ci := ws[i]
+			c := s.clauses[ci]
+			// Normalize: the false watched literal sits at c[1].
+			if c[0] == falseLit {
+				c[0], c[1] = c[1], c[0]
+			}
+			// Satisfied via the other watch: keep watching.
+			if s.value(c[0]) == varTrue {
+				ws[j] = ci
+				j++
+				continue
+			}
+			// Look for a replacement watch.
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != varFalse {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					continue nextClause // watch moved: drop from this list
+				}
+			}
+			// No replacement: clause is unit or conflicting.
+			ws[j] = ci
+			j++
+			if s.value(c[0]) == varFalse {
+				// Conflict: keep the remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[falseLit] = ws[:j]
+				s.qhead = len(s.trail)
+				return ci
+			}
+			s.uncheckedEnqueue(c[0], ci)
+		}
+		s.watches[falseLit] = ws[:j]
+	}
+	return -1
+}
+
+// analyze derives the first-UIP learned clause from the conflict and
+// returns it together with the backtrack level. learnt[0] is the asserting
+// literal; when the clause has more than one literal, learnt[1] holds a
+// literal from the backtrack level (the second watch).
+func (s *Solver) analyze(confl int32) (learnt []Lit, btLevel int32) {
+	learnt = append(learnt, 0) // slot for the asserting literal
+	pathC := 0
+	var p Lit
+	haveP := false
+	idx := len(s.trail) - 1
+
+	for {
+		c := s.clauses[confl]
+		for _, q := range c {
+			if haveP && q == p {
+				continue
+			}
+			v := q.Var()
+			if !s.seen[v] && s.level[v] > 0 {
+				s.seen[v] = true
+				s.toClear = append(s.toClear, v)
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		haveP = true
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC <= 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	if len(learnt) > 1 {
+		// Find the literal with the highest decision level after the
+		// asserting one and place it at index 1 — it is the second watch and
+		// determines the backtrack level.
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+	return learnt, btLevel
+}
+
+// cancelUntil backtracks to the given decision level, saving phases and
+// restoring the decision order.
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	lim := int(s.trailLim[lvl])
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.phase[v] = s.assign[v] == varTrue
+		s.assign[v] = varUndef
+		s.reason[v] = noReason
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) decayActivity() { s.varInc /= 0.95 }
+
+// pickBranchVar returns the unassigned variable with the highest activity
+// (ties broken by smallest index), or -1 when all are assigned.
+func (s *Solver) pickBranchVar() Var {
+	for s.order.len() > 0 {
+		v := s.order.removeMin()
+		if s.assign[v] == varUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve runs the CDCL search and returns the verdict. After Sat, Value
+// reads the model; after Unsat the instance is permanently unsatisfiable.
+// Unknown is returned only when a conflict budget is set and exhausted.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	if s.propagate() >= 0 {
+		s.ok = false
+		return Unsat
+	}
+	var restarts int64
+	for {
+		limit := luby(restarts+1) * restartMul
+		var since int64
+		for {
+			confl := s.propagate()
+			if confl >= 0 {
+				s.conflicts++
+				since++
+				if s.decisionLevel() == 0 {
+					s.ok = false
+					return Unsat
+				}
+				learnt, bt := s.analyze(confl)
+				s.cancelUntil(bt)
+				if len(learnt) == 1 {
+					s.uncheckedEnqueue(learnt[0], noReason)
+				} else {
+					ci := s.attachClause(learnt)
+					s.uncheckedEnqueue(learnt[0], ci)
+				}
+				s.decayActivity()
+				if s.budget >= 0 && s.conflicts >= s.budget {
+					s.cancelUntil(0)
+					return Unknown
+				}
+				continue
+			}
+			if since >= limit {
+				s.cancelUntil(0)
+				restarts++
+				break // restart
+			}
+			v := s.pickBranchVar()
+			if v < 0 {
+				return Sat
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.uncheckedEnqueue(MkLit(v, !s.phase[v]), noReason)
+		}
+	}
+}
+
+// varHeap is an indexed binary max-heap over variables ordered by
+// (activity desc, index asc) — the deterministic VSIDS order.
+type varHeap struct {
+	act  *[]float64
+	data []Var
+	pos  []int32 // position+1 per var; 0 = absent
+}
+
+func (h *varHeap) len() int { return len(h.data) }
+
+func (h *varHeap) less(a, b Var) bool {
+	aa, ab := (*h.act)[a], (*h.act)[b]
+	if aa != ab {
+		return aa > ab
+	}
+	return a < b
+}
+
+func (h *varHeap) insert(v Var) {
+	for int(v) >= len(h.pos) {
+		h.pos = append(h.pos, 0)
+	}
+	if h.pos[v] != 0 {
+		return
+	}
+	h.data = append(h.data, v)
+	h.pos[v] = int32(len(h.data))
+	h.up(len(h.data) - 1)
+}
+
+// update restores the heap order after v's activity increased.
+func (h *varHeap) update(v Var) {
+	if int(v) < len(h.pos) && h.pos[v] != 0 {
+		h.up(int(h.pos[v]) - 1)
+	}
+}
+
+func (h *varHeap) removeMin() Var {
+	v := h.data[0]
+	h.pos[v] = 0
+	last := h.data[len(h.data)-1]
+	h.data = h.data[:len(h.data)-1]
+	if len(h.data) > 0 && v != last {
+		h.data[0] = last
+		h.pos[last] = 1
+		h.down(0)
+	}
+	return v
+}
+
+func (h *varHeap) up(i int) {
+	v := h.data[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.data[p]) {
+			break
+		}
+		h.data[i] = h.data[p]
+		h.pos[h.data[i]] = int32(i + 1)
+		i = p
+	}
+	h.data[i] = v
+	h.pos[v] = int32(i + 1)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.data[i]
+	for {
+		c := 2*i + 1
+		if c >= len(h.data) {
+			break
+		}
+		if c+1 < len(h.data) && h.less(h.data[c+1], h.data[c]) {
+			c++
+		}
+		if !h.less(h.data[c], v) {
+			break
+		}
+		h.data[i] = h.data[c]
+		h.pos[h.data[i]] = int32(i + 1)
+		i = c
+	}
+	h.data[i] = v
+	h.pos[v] = int32(i + 1)
+}

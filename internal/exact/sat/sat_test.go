@@ -1,0 +1,245 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Fatalf("model a=%v b=%v, want a=false b=true", s.Value(a), s.Value(b))
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("empty clause accepted")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true))
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve = %v, want Unsat", got)
+	}
+}
+
+func TestTautologyDropped(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false), MkLit(a, true)) {
+		t.Fatal("tautology rejected")
+	}
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+}
+
+// TestPigeonhole pins the classic UNSAT family: n+1 pigeons in n holes.
+// These instances force real conflict-driven search (they have no short
+// resolution refutations at higher n, so keep n small).
+func TestPigeonhole(t *testing.T) {
+	for _, holes := range []int{2, 3, 4, 5} {
+		s := New()
+		pigeons := holes + 1
+		// v[p][h]: pigeon p sits in hole h.
+		v := make([][]Var, pigeons)
+		for p := range v {
+			v[p] = make([]Var, holes)
+			for h := range v[p] {
+				v[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p < pigeons; p++ {
+			lits := make([]Lit, holes)
+			for h := 0; h < holes; h++ {
+				lits[h] = MkLit(v[p][h], false)
+			}
+			s.AddClause(lits...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					s.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+				}
+			}
+		}
+		if got := s.Solve(); got != Unsat {
+			t.Fatalf("PHP(%d,%d): Solve = %v, want Unsat", pigeons, holes, got)
+		}
+	}
+}
+
+// bruteForce decides a CNF over nVars variables by enumeration and returns
+// (satisfiable, a model when satisfiable).
+func bruteForce(nVars int, cnf [][]Lit) (bool, uint64) {
+	for m := uint64(0); m < 1<<uint(nVars); m++ {
+		ok := true
+		for _, c := range cnf {
+			sat := false
+			for _, l := range c {
+				bit := m>>uint(l.Var())&1 == 1
+				if bit != l.IsNeg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true, m
+		}
+	}
+	return false, 0
+}
+
+func checkModel(t *testing.T, s *Solver, cnf [][]Lit, seed int64) {
+	t.Helper()
+	for _, c := range cnf {
+		sat := false
+		for _, l := range c {
+			if s.Value(l.Var()) != l.IsNeg() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			t.Fatalf("seed %d: model violates clause %v", seed, c)
+		}
+	}
+}
+
+// TestRandom3SATVsBruteForce cross-checks the CDCL verdict against plain
+// enumeration on random 3-SAT instances around the phase transition.
+func TestRandom3SATVsBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 5 + rng.Intn(8) // 5..12
+		nClauses := int(4.3*float64(nVars)) + rng.Intn(5)
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		cnf := make([][]Lit, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				c[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, c)
+			s.AddClause(c...)
+		}
+		got := s.Solve()
+		want, _ := bruteForce(nVars, cnf)
+		if want && got != Sat {
+			t.Fatalf("seed %d: Solve = %v, brute force says Sat", seed, got)
+		}
+		if !want && got != Unsat {
+			t.Fatalf("seed %d: Solve = %v, brute force says Unsat", seed, got)
+		}
+		if got == Sat {
+			checkModel(t, s, cnf, seed)
+		}
+	}
+}
+
+// TestDeterministic pins that two solvers fed the same instance agree on
+// verdict, model and conflict count.
+func TestDeterministic(t *testing.T) {
+	build := func() (*Solver, [][]Lit) {
+		rng := rand.New(rand.NewSource(42))
+		nVars, nClauses := 30, 120
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		var cnf [][]Lit
+		for i := 0; i < nClauses; i++ {
+			c := make([]Lit, 3)
+			for j := range c {
+				c[j] = MkLit(Var(rng.Intn(nVars)), rng.Intn(2) == 1)
+			}
+			cnf = append(cnf, c)
+			s.AddClause(c...)
+		}
+		return s, cnf
+	}
+	s1, _ := build()
+	s2, _ := build()
+	r1, r2 := s1.Solve(), s2.Solve()
+	if r1 != r2 {
+		t.Fatalf("verdicts differ: %v vs %v", r1, r2)
+	}
+	if s1.Conflicts() != s2.Conflicts() {
+		t.Fatalf("conflict counts differ: %d vs %d", s1.Conflicts(), s2.Conflicts())
+	}
+	if r1 == Sat {
+		for v := 0; v < s1.NumVars(); v++ {
+			if s1.Value(Var(v)) != s2.Value(Var(v)) {
+				t.Fatalf("models differ at var %d", v)
+			}
+		}
+	}
+}
+
+// TestConflictBudget pins that an exhausted budget reports Unknown rather
+// than a wrong verdict.
+func TestConflictBudget(t *testing.T) {
+	holes := 6 // PHP(7,6) needs far more than 2 conflicts
+	s := New()
+	pigeons := holes + 1
+	v := make([][]Var, pigeons)
+	for p := range v {
+		v[p] = make([]Var, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(v[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+			}
+		}
+	}
+	s.SetConflictBudget(2)
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve with budget 2 = %v, want Unknown", got)
+	}
+	if s.Conflicts() < 2 {
+		t.Fatalf("Conflicts = %d, want >= 2", s.Conflicts())
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}

@@ -69,9 +69,8 @@ func specFromQuery(r *http.Request) (JobSpec, error) {
 		Metric: q.Get("metric"),
 		Format: q.Get("format"),
 	}
-	if spec.Metric == "" {
-		spec.Metric = "er"
-	}
+	// An absent metric normalizes to the default inside JobSpec.Normalize —
+	// the same path a persisted spec without the field takes.
 	var err error
 	parseF := func(key string, dst *float64) {
 		if err != nil || !q.Has(key) {
@@ -111,6 +110,14 @@ func specFromQuery(r *http.Request) (JobSpec, error) {
 	parseF("maxdepth", &spec.MaxDepthRatio)
 	parseI("workers", &spec.Workers)
 	parseF("timeout", &spec.TimeoutSec)
+	parseF("maxerror", &spec.MaxError)
+	if q.Has("certbudget") {
+		if v, perr := strconv.ParseInt(q.Get("certbudget"), 10, 64); perr == nil {
+			spec.CertConflictBudget = v
+		} else {
+			err = fmt.Errorf("bad certbudget=%q", q.Get("certbudget"))
+		}
+	}
 	if q.Has("windowed") {
 		switch q.Get("windowed") {
 		case "1", "true":

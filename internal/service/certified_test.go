@@ -1,0 +1,162 @@
+package service
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// certSpec is the certified job type: NMED-guided search with every commit
+// proven by the exact checker to keep the worst-case error within the bound.
+func certSpec() JobSpec {
+	return JobSpec{
+		Metric:       "maxerr",
+		Threshold:    0.03,
+		Seed:         3,
+		EvalPatterns: 1024,
+		Workers:      1,
+	}
+}
+
+// TestCertifiedJobEndToEnd: a certified job submitted through the manager
+// runs to completion, its event stream carries certified (and possibly
+// rejected) step events, and the certification metrics move.
+func TestCertifiedJobEndToEnd(t *testing.T) {
+	circuit := testCircuit(t)
+	spec := certSpec()
+	want, wantAAG := referenceRun(t, spec, circuit)
+
+	m, stop := startManager(t, Config{Dir: t.TempDir(), Now: time.Now})
+	defer stop()
+
+	st, err := m.Submit(spec, circuit)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final := waitState(t, m, st.ID, StateDone)
+	if final.FinalError != want.FinalError || final.Applied != want.Applied {
+		t.Fatalf("certified job got %v/%d applied, reference %v/%d",
+			final.FinalError, final.Applied, want.FinalError, want.Applied)
+	}
+	if !bytes.Equal(graphAAG(t, m, st.ID), wantAAG) {
+		t.Fatal("certified service result differs from direct core.Run")
+	}
+
+	// Every committed step of a certified job is a "certified" event — the
+	// NDJSON stream must never show a plain "applied" — and rejected events
+	// must agree with the rejection counter.
+	job, _ := m.Get(st.ID)
+	events, _, _ := job.Subscribe(0)
+	certified, rejected := 0, 0
+	for _, ev := range events {
+		if ev.Step == nil {
+			continue
+		}
+		switch ev.Step.Kind {
+		case core.EventApplied:
+			t.Fatalf("plain applied event in a certified job: %+v", ev.Step)
+		case core.EventCertified:
+			certified++
+			if ev.Step.CertBackend == "" {
+				t.Fatalf("certified event without a backend: %+v", ev.Step)
+			}
+		case core.EventCertRejected:
+			rejected++
+		}
+	}
+	if certified != want.Applied {
+		t.Fatalf("%d certified events, reference applied %d", certified, want.Applied)
+	}
+
+	var calls uint64
+	for _, c := range m.met.certifyTotal {
+		calls += c.Value()
+	}
+	if calls == 0 {
+		t.Fatal("alsrac_certify_total never moved")
+	}
+	if got := m.met.certRejected.Value(); got != uint64(rejected) {
+		t.Fatalf("alsrac_certify_rejected_total %d, %d rejected events", got, rejected)
+	}
+	var observed uint64
+	for _, h := range m.met.certifySeconds {
+		observed += h.Count()
+	}
+	if observed != calls {
+		t.Fatalf("latency histograms observed %d certifications, counters say %d", observed, calls)
+	}
+}
+
+// TestCertifiedKillAndResume is the acceptance crash test for the certified
+// job type: interrupt a certified job mid-run (checkpoint v3 carries the
+// certification state), restart over the same directory, and require a
+// final graph bitwise identical to the uninterrupted certified run.
+func TestCertifiedKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	circuit := testCircuit(t)
+	spec := certSpec()
+	want, wantAAG := referenceRun(t, spec, circuit)
+	if want.Iterations < 3 {
+		t.Fatalf("reference run too short (%d iterations) to interrupt meaningfully", want.Iterations)
+	}
+
+	m1, stop1 := startManager(t, Config{Dir: dir, CheckpointEvery: 1})
+	st, err := m1.Submit(spec, circuit)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		job, _ := m1.Get(st.ID)
+		s := job.Status(false)
+		if s.Iterations >= 1 || s.State.terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("certified job never started iterating")
+		}
+	}
+	stop1()
+
+	interrupted, _ := m1.Get(st.ID)
+	if istat := interrupted.Status(false); !istat.State.terminal() {
+		gens, err := filepath.Glob(filepath.Join(dir, st.ID, "checkpoint.*"))
+		if err != nil || len(gens) == 0 {
+			t.Fatalf("no checkpoint generation after shutdown (%v, %v)", gens, err)
+		}
+	}
+
+	m2, stop2 := startManager(t, Config{Dir: dir, CheckpointEvery: 1})
+	defer stop2()
+	final := waitState(t, m2, st.ID, StateDone)
+	if final.FinalError != want.FinalError ||
+		final.Iterations != want.Iterations || final.Applied != want.Applied {
+		t.Fatalf("resumed certified run %v/%d/%d, reference %v/%d/%d",
+			final.FinalError, final.Iterations, final.Applied,
+			want.FinalError, want.Iterations, want.Applied)
+	}
+	if !bytes.Equal(graphAAG(t, m2, st.ID), wantAAG) {
+		t.Fatal("resumed certified result differs bitwise from uninterrupted run")
+	}
+
+	// The rejection history survives the restart: rejected records in the
+	// final status must match the reference run's.
+	wantRejected := 0
+	for _, rec := range want.History {
+		if rec.Rejected {
+			wantRejected++
+		}
+	}
+	gotRejected := 0
+	for _, rec := range final.History {
+		if rec.Rejected {
+			gotRejected++
+		}
+	}
+	if gotRejected != wantRejected {
+		t.Fatalf("resumed history has %d rejected records, reference %d", gotRejected, wantRejected)
+	}
+}

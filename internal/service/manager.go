@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/faultfs"
 	"repro/internal/obs"
 )
@@ -76,6 +77,12 @@ type managerMetrics struct {
 	quarantined *obs.Counter
 	panics      *obs.Counter
 	stepSeconds *obs.Histogram
+
+	// Certified-mode instruments, labeled by exact-checker backend.
+	certifyTotal   map[string]*obs.Counter
+	certifySeconds map[string]*obs.Histogram
+	certRejected   *obs.Counter
+	satConflicts   *obs.Counter
 }
 
 // Manager owns the job table, the bounded submission queue and the worker
@@ -138,6 +145,15 @@ func New(cfg Config) (*Manager, error) {
 		quarantined: reg.Counter("alsrac_jobs_quarantined_total", "poison jobs quarantined after repeated crash-loop recoveries"),
 		panics:      reg.Counter("alsrac_worker_panics_total", "worker panics recovered and converted to job failures"),
 		stepSeconds: reg.Histogram("alsrac_step_seconds", "session step latency in seconds", obs.LatencyBuckets()),
+
+		certifyTotal:   map[string]*obs.Counter{},
+		certifySeconds: map[string]*obs.Histogram{},
+		certRejected:   reg.Counter("alsrac_certify_rejected_total", "winning LACs rejected by exact max-error certification"),
+		satConflicts:   reg.Counter("alsrac_sat_conflicts_total", "CDCL conflicts spent across SAT certifications"),
+	}
+	for _, b := range []string{exact.BackendTrivial, exact.BackendExhaustive, exact.BackendSAT} {
+		met.certifyTotal[b] = reg.Counter("alsrac_certify_total", "exact max-error certifications by backend", "backend", b)
+		met.certifySeconds[b] = reg.Histogram("alsrac_certify_seconds", "exact certification latency in seconds", obs.LatencyBuckets(), "backend", b)
 	}
 	for _, s := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled, StateQuarantined} {
 		met.jobsByState[s] = reg.Gauge("alsrac_jobs", "jobs by lifecycle state", "state", string(s))
@@ -475,6 +491,9 @@ func (m *Manager) runJob(parent context.Context, job *Job) {
 		if ev.Applied {
 			m.met.lacsApplied.Inc()
 		}
+		if ev.Kind == core.EventCertRejected {
+			m.met.certRejected.Inc()
+		}
 		job.recordStep(ev, sess)
 		if ev.Done {
 			m.finalizeDone(job, sess, false)
@@ -502,6 +521,21 @@ func (m *Manager) buildSession(job *Job) (*core.Session, error) {
 	opts, err := job.Spec.Options()
 	if err != nil {
 		return nil, err
+	}
+	// Certified-mode observability: latency comes from the injected clock
+	// (zero, and unobserved, when the deployment runs without one) and the
+	// counters attribute each certification to the backend that decided it.
+	opts.CertNow = m.cfg.Now
+	opts.CertObserve = func(backend string, secs float64, conflicts int64) {
+		if c, ok := m.met.certifyTotal[backend]; ok {
+			c.Inc()
+		}
+		if h, ok := m.met.certifySeconds[backend]; ok && m.cfg.Now != nil {
+			h.Observe(secs)
+		}
+		if conflicts > 0 {
+			m.met.satConflicts.Add(uint64(conflicts))
+		}
 	}
 	gens := m.st.checkpointGens(job.ID)
 	for i, path := range gens {

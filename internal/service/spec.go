@@ -28,8 +28,18 @@ import (
 // needed to rebuild identical core.Options after a restart. The circuit
 // body is stored separately (it can be large).
 type JobSpec struct {
-	Metric    string  `json:"metric"`    // "er", "nmed" or "mred"
+	Metric    string  `json:"metric"`    // "er", "nmed", "mred" or "maxerr"
 	Threshold float64 `json:"threshold"` // error threshold Et
+
+	// MaxError > 0 makes the job certified: every winning LAC is proven by
+	// the exact checker (internal/exact) to keep the worst-case normalized
+	// error within this bound before it is committed. Metric "maxerr" is
+	// the dedicated certified job type — it guides the search with NMED and
+	// defaults MaxError to Threshold.
+	MaxError float64 `json:"max_error,omitempty"`
+	// CertConflictBudget caps the CDCL conflicts of one SAT certification
+	// (0 = unbounded); an exhausted budget rejects the candidate.
+	CertConflictBudget int64 `json:"cert_conflict_budget,omitempty"`
 
 	Seed           int64   `json:"seed"`
 	EvalPatterns   int     `json:"eval_patterns"`
@@ -61,28 +71,56 @@ type JobSpec struct {
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
 
-// ParseMetric maps the wire name of a metric to the errest constant.
+// ParseMetric maps the wire name of a metric to the errest constant that
+// guides the search. "maxerr" — the certified job type — is guided by NMED
+// (the statistical estimate of the same arithmetic-error scale the exact
+// checker certifies).
 func ParseMetric(s string) (errest.Metric, error) {
-	switch strings.ToLower(s) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "er":
 		return errest.ER, nil
-	case "nmed":
+	case "nmed", "maxerr":
 		return errest.NMED, nil
 	case "mred":
 		return errest.MRED, nil
 	}
-	return 0, fmt.Errorf("unknown metric %q (er, nmed, mred)", s)
+	return 0, fmt.Errorf("unknown metric %q (er, nmed, mred, maxerr)", s)
 }
 
 // Normalize fills unset fields with the paper's default parameters so the
 // persisted spec is self-contained: a resumed job must rebuild the exact
 // same core.Options even if the daemon's defaults change between versions.
 func (s *JobSpec) Normalize() error {
+	// Canonicalize the metric first so the persisted form is deterministic:
+	// an absent field means the default metric (v2-era specs and clients that
+	// never send one), surrounding whitespace and case are stripped, and an
+	// unknown name fails here with a stable message rather than differently
+	// at each consumer.
+	s.Metric = strings.ToLower(strings.TrimSpace(s.Metric))
+	if s.Metric == "" {
+		s.Metric = "er"
+	}
 	if _, err := ParseMetric(s.Metric); err != nil {
 		return err
 	}
 	if s.Threshold < 0 {
 		return fmt.Errorf("threshold must be non-negative, got %v", s.Threshold)
+	}
+	if s.MaxError < 0 {
+		return fmt.Errorf("max_error must be non-negative, got %v", s.MaxError)
+	}
+	if s.CertConflictBudget < 0 {
+		s.CertConflictBudget = 0
+	}
+	if s.Metric == "maxerr" {
+		// The certified job type: pin the bound into the persisted spec so a
+		// resumed job certifies against exactly what the submitter asked for.
+		if s.MaxError == 0 {
+			s.MaxError = s.Threshold
+		}
+		if s.MaxError <= 0 {
+			return fmt.Errorf("metric maxerr needs a positive max_error (or threshold), got %v", s.MaxError)
+		}
 	}
 	def := core.DefaultOptions(errest.ER, 0)
 	if s.Seed == 0 {
@@ -152,6 +190,8 @@ func (s JobSpec) Options() (core.Options, error) {
 		return core.Options{}, err
 	}
 	opts := core.DefaultOptions(m, s.Threshold)
+	opts.MaxError = s.MaxError
+	opts.CertConflictBudget = s.CertConflictBudget
 	opts.Seed = s.Seed
 	opts.EvalPatterns = s.EvalPatterns
 	opts.InitialRounds = s.InitialRounds

@@ -18,6 +18,8 @@ go test -run '^$' -bench 'BenchmarkRankCandidates$|BenchmarkSessionStep$|Benchma
     -benchmem -benchtime="$benchtime" ./internal/core | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkServiceThroughput$' \
     -benchmem -benchtime="$benchtime" ./internal/service | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkCertifyExhaustive$|BenchmarkCertifySAT$' \
+    -benchmem -benchtime="$benchtime" ./internal/exact | tee -a "$tmp"
 
 awk '
 /^Benchmark/ {

@@ -78,6 +78,49 @@ for series in alsrac_checkpoint_fallback_total alsrac_store_retries_total \
 done
 echo "metrics OK"
 
+# Certified job type: metric=maxerr runs the same circuit with every commit
+# proven by the exact max-error checker. The bound defaults to the threshold.
+submit="$(curl -sf -X POST --data-binary @examples/circuits/cla16.blif \
+    "$base/jobs?metric=maxerr&threshold=0.05&seed=3&eval=1024")"
+cid="$(printf '%s' "$submit" | sed -n 's/.*"id": "\(j[0-9]*\)".*/\1/p')"
+if [ -z "$cid" ]; then echo "certified submit failed: $submit"; exit 1; fi
+echo "submitted certified job $cid"
+
+state=""
+for i in $(seq 1 600); do
+    status="$(curl -sf "$base/jobs/$cid?history=0")"
+    state="$(printf '%s' "$status" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')"
+    case "$state" in
+        done) break ;;
+        failed|cancelled) echo "certified job ended in state $state: $status"; exit 1 ;;
+    esac
+    if [ "$i" = 600 ]; then echo "certified job stuck in state $state"; exit 1; fi
+    sleep 0.1
+done
+echo "certified job $cid done"
+
+# Its NDJSON stream must carry certified step events — and never a plain
+# "applied" one: in certified mode every commit goes through the checker.
+events="$(curl -sf "$base/jobs/$cid/events")"
+printf '%s\n' "$events" | grep -q '"kind":"certified"' || {
+    echo "no certified event in stream:"; printf '%s\n' "$events" | head -5; exit 1; }
+printf '%s\n' "$events" | grep -q '"kind":"applied"' && {
+    echo "plain applied event in a certified job:"; printf '%s\n' "$events" | head -5; exit 1; }
+
+# The certification instruments must be exported and the call counter moved.
+metrics="$(curl -sf "$base/metrics")"
+printf '%s\n' "$metrics" | grep -q '^alsrac_certify_total{backend="' || {
+    echo "missing alsrac_certify_total:"; printf '%s\n' "$metrics" | grep alsrac_certify; exit 1; }
+printf '%s\n' "$metrics" | awk '/^alsrac_certify_total\{/ { sum += $2 } END { exit sum > 0 ? 0 : 1 }' || {
+    echo "alsrac_certify_total never moved:"; printf '%s\n' "$metrics" | grep alsrac_certify; exit 1; }
+for series in alsrac_certify_rejected_total alsrac_sat_conflicts_total; do
+    printf '%s\n' "$metrics" | grep -q "^$series " || {
+        echo "missing certification series $series:"; printf '%s\n' "$metrics" | grep alsrac; exit 1; }
+done
+printf '%s\n' "$metrics" | grep -q '^alsrac_certify_seconds_count{backend="' || {
+    echo "missing alsrac_certify_seconds histogram:"; printf '%s\n' "$metrics" | grep alsrac_certify; exit 1; }
+echo "certified job metrics OK"
+
 # Graceful shutdown must complete promptly.
 kill -TERM "$pid"
 for i in $(seq 1 100); do
