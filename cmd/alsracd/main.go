@@ -22,6 +22,20 @@
 // same final circuit the uninterrupted run would have produced (the flow is
 // deterministic in the seed). SIGINT/SIGTERM trigger a graceful shutdown
 // that checkpoints every in-flight session first.
+//
+// The same binary also scales out to a fault-tolerant cluster. A coordinator
+// owns the job table and a content-addressed checkpoint/result store;
+// workers on any number of machines join it and execute leased jobs:
+//
+//	alsracd -coordinator -addr :8337 -dir /var/lib/alsrac-coord &
+//	alsracd -worker -join http://coord:8337 &     # on each machine
+//	curl -X POST --data-binary @adder.blif \
+//	    'coord:8337/jobs?metric=er&threshold=0.01&seed=1'
+//
+// Kill a worker mid-job and its lease expires; another worker resumes from
+// the last uploaded checkpoint and — because the flow is bitwise
+// deterministic — produces the identical result. Submitting the same
+// circuit and parameters twice is a cache hit served from the store.
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -48,6 +63,13 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 8, "checkpoint a running session every N iterations")
 		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline; on expiry a job completes with its best-so-far result (0 = none)")
 		quiet      = flag.Bool("q", false, "suppress per-job log lines")
+
+		coordMode = flag.Bool("coordinator", false, "run as a cluster coordinator: lease jobs to joined workers instead of executing locally")
+		workMode  = flag.Bool("worker", false, "run as a cluster worker: join a coordinator and execute leased jobs (requires -join)")
+		join      = flag.String("join", "", "coordinator base URL to join (worker mode), e.g. http://coord:8337")
+		name      = flag.String("name", "", "worker name shown in coordinator logs (default: hostname)")
+		leaseTTL  = flag.Duration("lease-ttl", 15*time.Second, "coordinator: job lease TTL; a worker silent this long loses its jobs to reassignment")
+		pollEvery = flag.Duration("poll-interval", 500*time.Millisecond, "coordinator: idle claim-poll cadence advertised to workers")
 	)
 	flag.Parse()
 
@@ -55,12 +77,123 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+
+	switch {
+	case *coordMode && *workMode:
+		fmt.Fprintln(os.Stderr, "alsracd: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	case *coordMode:
+		runCoordinator(*addr, *dir, *leaseTTL, *pollEvery, logf)
+	case *workMode:
+		runWorker(*join, *name, *ckptEvery, logf)
+	default:
+		if *join != "" {
+			fmt.Fprintln(os.Stderr, "alsracd: -join requires -worker")
+			os.Exit(2)
+		}
+		runDaemon(*addr, *dir, *jobs, *queue, *ckptEvery, jobTimeout.Seconds(), logf)
+	}
+}
+
+// signalCtx is the shared SIGINT/SIGTERM lifetime of every mode.
+func signalCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// runCoordinator serves the cluster API: the client-facing /jobs surface
+// plus the /cluster/* worker protocol, all state under dir.
+func runCoordinator(addr, dir string, leaseTTL, pollEvery time.Duration, logf func(string, ...any)) {
+	co, err := cluster.NewCoordinator(cluster.CoordConfig{
+		Dir:          dir,
+		Now:          time.Now,
+		LeaseTTL:     leaseTTL,
+		PollInterval: pollEvery,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alsracd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           cluster.NewHandler(co),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	ctx, stop := signalCtx()
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		serveErr <- srv.ListenAndServe()
+	}()
+	log.Printf("alsracd: coordinator listening on %s, store %s (lease ttl %v)", addr, dir, leaseTTL)
+
+	var exitErr error
+	select {
+	case <-ctx.Done():
+		log.Printf("alsracd: coordinator shutting down (jobs and leases persist under %s)", dir)
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(shutCtx)
+		cancel()
+	case exitErr = <-serveErr:
+	}
+	wg.Wait()
+	if exitErr != nil && exitErr != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "alsracd: %v\n", exitErr)
+		os.Exit(1)
+	}
+	log.Printf("alsracd: coordinator shutdown complete")
+}
+
+// runWorker joins a coordinator and executes leased jobs until terminated.
+// On SIGTERM the worker uploads a final checkpoint of any in-flight session
+// before exiting, so its successor resumes instead of recomputing.
+func runWorker(join, name string, ckptEvery int, logf func(string, ...any)) {
+	if join == "" {
+		fmt.Fprintln(os.Stderr, "alsracd: -worker requires -join <coordinator-url>")
+		os.Exit(2)
+	}
+	if name == "" {
+		if host, err := os.Hostname(); err == nil {
+			name = host
+		} else {
+			name = "worker"
+		}
+	}
+	wk, err := cluster.NewWorker(cluster.WorkerConfig{
+		Join:            join,
+		Name:            name,
+		Now:             time.Now,
+		CheckpointEvery: ckptEvery,
+		Logf:            logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "alsracd: %v\n", err)
+		os.Exit(1)
+	}
+	ctx, stop := signalCtx()
+	defer stop()
+	log.Printf("alsracd: worker %q joining %s", name, join)
+	if err := wk.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "alsracd: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("alsracd: worker shutdown complete")
+}
+
+// runDaemon is the original single-process mode: queue, worker pool and HTTP
+// API in one process.
+func runDaemon(addr, dir string, jobs, queue, ckptEvery int, timeoutSec float64, logf func(string, ...any)) {
 	m, err := service.New(service.Config{
-		Dir:               *dir,
-		QueueSize:         *queue,
-		Workers:           *jobs,
-		CheckpointEvery:   *ckptEvery,
-		DefaultTimeoutSec: jobTimeout.Seconds(),
+		Dir:               dir,
+		QueueSize:         queue,
+		Workers:           jobs,
+		CheckpointEvery:   ckptEvery,
+		DefaultTimeoutSec: timeoutSec,
 		Now:               time.Now,
 		Logf:              logf,
 	})
@@ -70,16 +203,18 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:    *addr,
+		Addr:    addr,
 		Handler: service.NewHandler(m),
 		// Slow-client hardening: a peer that never finishes its headers or
 		// parks an idle keep-alive connection cannot pin a descriptor
 		// forever. No WriteTimeout: /jobs/{id}/events is a long-lived NDJSON
-		// stream that must outlive any fixed write deadline.
+		// stream that must outlive any fixed write deadline — each event
+		// write instead arms its own per-write deadline via
+		// http.ResponseController (see service.HandlerOptions).
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := signalCtx()
 	defer stop()
 
 	serveErr := make(chan error, 1)
@@ -93,7 +228,7 @@ func main() {
 		defer wg.Done()
 		serveErr <- srv.ListenAndServe()
 	}()
-	log.Printf("alsracd: listening on %s, job store %s", *addr, *dir)
+	log.Printf("alsracd: listening on %s, job store %s", addr, dir)
 
 	var exitErr error
 	select {

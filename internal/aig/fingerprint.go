@@ -1,0 +1,58 @@
+package aig
+
+import "hash/fnv"
+
+// Fingerprint returns a 64-bit FNV-1a hash of the graph's visible structure
+// and interface: the primary inputs (count and names), every live AND gate's
+// fanin literals in id order, and the primary output literals and names.
+// Dead (recycled) slots, per-slot epochs and the free list do not
+// contribute, so a graph fingerprints identically to its id-preserving
+// raw-codec round trip, and two parses of the same circuit file always
+// collide. Names are included deliberately: the fingerprint addresses cached
+// results, and a served result must carry the exact PI/PO names of the
+// submission it answers.
+//
+// The hash is structural, not semantic — two logically equivalent graphs
+// with different gate decompositions fingerprint differently. That is the
+// right granularity for content addressing: the synthesis flow is
+// deterministic in (graph structure, options), not in the Boolean function
+// alone.
+func Fingerprint(g *Graph) uint64 {
+	h := fnv.New64a()
+	var w [8]byte
+	putU64 := func(v uint64) {
+		w[0] = byte(v)
+		w[1] = byte(v >> 8)
+		w[2] = byte(v >> 16)
+		w[3] = byte(v >> 24)
+		w[4] = byte(v >> 32)
+		w[5] = byte(v >> 40)
+		w[6] = byte(v >> 48)
+		w[7] = byte(v >> 56)
+		h.Write(w[:])
+	}
+	putStr := func(s string) {
+		putU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	putU64(uint64(g.NumPIs()))
+	for i := 0; i < g.NumPIs(); i++ {
+		putU64(uint64(g.PI(i)))
+		putStr(g.PIName(i))
+	}
+	for n := Node(0); int(n) < g.NumNodes(); n++ {
+		if g.Kind(n) != KindAnd {
+			continue
+		}
+		putU64(uint64(n))
+		putU64(uint64(g.Fanin0(n)))
+		putU64(uint64(g.Fanin1(n)))
+	}
+	putU64(uint64(g.NumPOs()))
+	for i := 0; i < g.NumPOs(); i++ {
+		putU64(uint64(g.PO(i)))
+		putStr(g.POName(i))
+	}
+	return h.Sum64()
+}

@@ -30,7 +30,7 @@ var CtxflowAnalyzer = &Analyzer{
 	AppliesTo: pathIn(
 		"internal/core", "internal/service", "internal/resub",
 		"internal/sim", "internal/window", "internal/errest",
-		"internal/exact", "internal/exact/sat",
+		"internal/exact", "internal/exact/sat", "internal/cluster",
 	),
 	RunModule: runCtxflow,
 }

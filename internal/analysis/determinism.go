@@ -20,7 +20,8 @@ import (
 //     iteration order into an ordered output — the exact bug class that
 //     would break determinism across worker counts.
 //
-// The daemon-side packages (internal/service, internal/obs) are held to the
+// The daemon-side packages (internal/service, internal/obs, and the
+// cluster coordinator/worker in internal/cluster) are held to the
 // same rules: a resumed job must replay bitwise-identically, so the job
 // engine may not read the wall clock directly (the Manager's clock is
 // injected via Config.Now) and may not derive ordered output from map
@@ -33,7 +34,7 @@ var DeterminismAnalyzer = &Analyzer{
 		"internal/core", "internal/resub", "internal/errest",
 		"internal/sim", "internal/aig", "internal/wordops",
 		"internal/service", "internal/obs", "internal/faultfs",
-		"internal/exact", "internal/exact/sat",
+		"internal/exact", "internal/exact/sat", "internal/cluster",
 	),
 	Run: runDeterminism,
 }

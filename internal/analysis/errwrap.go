@@ -33,7 +33,7 @@ import (
 var ErrwrapAnalyzer = &Analyzer{
 	Name:      "errwrap",
 	Doc:       "store errors must stay errno-classifiable: wrap with %w or classify, never stringify or leak bare",
-	AppliesTo: pathIn("internal/service", "internal/core"),
+	AppliesTo: pathIn("internal/service", "internal/core", "internal/cluster"),
 	RunModule: runErrwrap,
 }
 

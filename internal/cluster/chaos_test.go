@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+	"repro/internal/service"
+)
+
+// TestClusterChaosMatrix drives one worker through a deterministic schedule
+// of network faults — a dropped registration, a dropped claim, a delayed
+// circuit fetch, a truncated checkpoint download — layered on top of a
+// poisoned (unrestorable) checkpoint in the store. The worker must retry
+// through every fault, reject the garbage checkpoint, rebuild from the
+// circuit and still produce the reference bytes. This is the cluster
+// analogue of the faultfs chaos tests: same injected-schedule determinism,
+// same bit-identity bar, run under -race.
+func TestClusterChaosMatrix(t *testing.T) {
+	circuit := testCircuit(t)
+	_, refAAG := refRun(t, testSpec(), circuit)
+
+	clk := newFakeClock()
+	co := newTestCoord(t, clk, func(cfg *CoordConfig) {
+		cfg.LeaseTTL = 10 * time.Second
+		cfg.PollInterval = 2 * time.Millisecond
+		cfg.RedispatchMax = time.Second
+	})
+	srv := httptest.NewServer(NewHandler(co))
+	defer srv.Close()
+
+	// A previous "session" left a checkpoint that does not restore (the
+	// cross-machine analogue of a torn local checkpoint): claim will
+	// advertise it, restore must reject it, and the rebuild-from-circuit
+	// ladder must converge to the identical answer.
+	st, err := co.Submit(testSpec(), circuit)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	seeder := co.Register("seeder")
+	seedClaim, ok, _ := co.Claim(seeder.WorkerID)
+	if !ok {
+		t.Fatalf("seed claim failed")
+	}
+	if err := co.UploadCheckpoint(seedClaim.JobID, seeder.WorkerID, seedClaim.AttemptID, []byte("not a core snapshot")); err != nil {
+		t.Fatalf("seeding checkpoint: %v", err)
+	}
+	// The seeder dies; the job requeues with its poisoned checkpoint.
+	clk.Advance(11 * time.Second)
+	co.Jobs()
+	if got, _ := co.Status(st.ID); got.State != service.StateQueued {
+		t.Fatalf("after seeder death: %s, want queued", got.State)
+	}
+	clk.Advance(30 * time.Second)
+
+	// The chaos schedule, deterministic by construction: each fault arms on
+	// the N-th matching call and fires exactly once.
+	var sleepMu sync.Mutex
+	var delays []time.Duration
+	inj := faultfs.NewNetInjector(http.DefaultTransport,
+		func(d time.Duration) {
+			sleepMu.Lock()
+			delays = append(delays, d)
+			sleepMu.Unlock()
+		},
+		faultfs.NetFault{Method: http.MethodPost, PathSubstr: "/cluster/register", N: 1, Drop: true},
+		faultfs.NetFault{Method: http.MethodPost, PathSubstr: "/cluster/claim", N: 1, Drop: true},
+		faultfs.NetFault{Method: http.MethodGet, PathSubstr: "/checkpoint", N: 1, Truncate: 7, Truncated: true},
+		faultfs.NetFault{Method: http.MethodGet, PathSubstr: "/circuit", N: 1, Delay: 5 * time.Millisecond},
+	)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer cancel()
+	startTestWorker(t, ctx, &wg, WorkerConfig{
+		Join:            srv.URL,
+		Name:            "chaos",
+		Client:          &http.Client{Transport: inj},
+		Now:             clk.Now,
+		Sleep:           testWorkerSleep,
+		CheckpointEvery: 5,
+		Logf:            t.Logf,
+	})
+
+	waitClusterState(t, srv, st.ID, service.StateDone)
+	gotAAG, err := co.ResultAAG(st.ID)
+	if err != nil {
+		t.Fatalf("ResultAAG: %v", err)
+	}
+	if !bytes.Equal(gotAAG, refAAG) {
+		t.Fatalf("chaos run result differs from reference")
+	}
+	if fired := inj.Fired(); len(fired) != 4 {
+		t.Fatalf("%d of 4 scheduled faults fired: %v", len(fired), fired)
+	}
+	sleepMu.Lock()
+	nd := len(delays)
+	sleepMu.Unlock()
+	if nd != 1 {
+		t.Fatalf("delay fault slept %d times, want 1", nd)
+	}
+}

@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/service"
+)
+
+// maxBodyBytes bounds every request body the coordinator reads. A torn
+// upload (Content-Length larger than what arrived) fails the read with
+// io.ErrUnexpectedEOF and is rejected before it can reach the CAS.
+const maxBodyBytes = 64 << 20
+
+// NewHandler builds the coordinator's HTTP surface: the client-facing /jobs
+// API (mirroring the single-process daemon's shapes) plus the /cluster/*
+// worker protocol documented in proto.go.
+func NewHandler(co *Coordinator) http.Handler {
+	mux := http.NewServeMux()
+
+	// Client surface.
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(co, w, r)
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, co.Jobs())
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := co.Status(r.PathValue("id"))
+		if err != nil {
+			clusterError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		aag, err := co.ResultAAG(r.PathValue("id"))
+		if err != nil {
+			clusterError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(aag)
+	})
+	mux.HandleFunc("POST /jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		st, err := co.Cancel(r.PathValue("id"))
+		if err != nil {
+			clusterError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": "coordinator"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = co.Registry().WritePrometheus(w)
+	})
+
+	// Worker protocol.
+	mux.HandleFunc("POST /cluster/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, co.Register(req.Name))
+	})
+	mux.HandleFunc("POST /cluster/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req ClaimRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		resp, ok, err := co.Claim(req.WorkerID)
+		if err != nil {
+			clusterError(w, err)
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /cluster/jobs/{id}/circuit", func(w http.ResponseWriter, r *http.Request) {
+		data, err := co.Circuit(r.PathValue("id"))
+		if err != nil {
+			clusterError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	mux.HandleFunc("GET /cluster/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		payload, ok, err := co.Checkpoint(r.PathValue("id"))
+		if err != nil {
+			clusterError(w, err)
+			return
+		}
+		if !ok {
+			writeError(w, http.StatusNotFound, "no_checkpoint", "no usable checkpoint")
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(payload)
+	})
+	mux.HandleFunc("POST /cluster/jobs/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+		var req AttemptRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := co.Renew(r.PathValue("id"), req.WorkerID, req.AttemptID); err != nil {
+			clusterError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("PUT /cluster/jobs/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		payload, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		q := r.URL.Query()
+		if err := co.UploadCheckpoint(r.PathValue("id"), q.Get("worker"), q.Get("attempt"), payload); err != nil {
+			clusterError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("PUT /cluster/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		aag, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		q := r.URL.Query()
+		sum, err := summaryFromQuery(q.Get("summary"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_summary", "%v", err)
+			return
+		}
+		if err := co.UploadResult(r.PathValue("id"), q.Get("worker"), q.Get("attempt"), sum, aag); err != nil {
+			clusterError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /cluster/jobs/{id}/fail", func(w http.ResponseWriter, r *http.Request) {
+		var req FailRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if err := co.Fail(r.PathValue("id"), req.WorkerID, req.AttemptID, req.Error); err != nil {
+			clusterError(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	return mux
+}
+
+// handleSubmit accepts the same query-parameter spec and circuit body as the
+// single-process POST /jobs, so the CLI client and smoke scripts work
+// unchanged against a coordinator.
+func handleSubmit(co *Coordinator, w http.ResponseWriter, r *http.Request) {
+	spec, err := service.SpecFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_spec", "%v", err)
+		return
+	}
+	circuit, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	if len(circuit) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_circuit", "request body must contain a circuit")
+		return
+	}
+	st, err := co.Submit(spec, circuit)
+	if err != nil {
+		if errors.Is(err, service.ErrUnparsable) {
+			writeError(w, http.StatusBadRequest, "unparsable", "%v", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_spec", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// summaryFromQuery decodes the worker's base-independent summary encoding:
+// a single JSON object passed URL-encoded in ?summary=.
+func summaryFromQuery(s string) (ResultSummary, error) {
+	var sum ResultSummary
+	if s == "" {
+		return sum, fmt.Errorf("missing summary parameter")
+	}
+	if err := json.Unmarshal([]byte(s), &sum); err != nil {
+		return sum, fmt.Errorf("decoding summary: %w", err)
+	}
+	return sum, nil
+}
+
+// readBody drains the request body under maxBodyBytes, enforcing
+// Content-Length when present: a body shorter than declared (a torn upload
+// through a dying proxy) is rejected so partial bytes never reach the store.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_body", "reading body: %v", err)
+		return nil, false
+	}
+	if len(data) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "too_large", "body exceeds %d bytes", maxBodyBytes)
+		return nil, false
+	}
+	if cl := r.Header.Get("Content-Length"); cl != "" {
+		if want, perr := strconv.ParseInt(cl, 10, 64); perr == nil && int64(len(data)) != want {
+			writeError(w, http.StatusBadRequest, "torn_body", "body truncated: got %d of %d bytes", len(data), want)
+			return nil, false
+		}
+	}
+	return data, true
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, ok := readBody(w, r)
+	if !ok {
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// clusterError maps coordinator sentinel errors onto HTTP statuses. 409 is
+// the load-bearing one: it is how lease loss — the cluster's form of ctx
+// cancellation — crosses the wire.
+func clusterError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", "%v", err)
+	case errors.Is(err, ErrLeaseLost):
+		writeError(w, http.StatusConflict, "lease_lost", "%v", err)
+	case errors.Is(err, ErrNotDone):
+		writeError(w, http.StatusConflict, "not_done", "%v", err)
+	case errors.Is(err, ErrUnknownWorker):
+		writeError(w, http.StatusGone, "unknown_worker", "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]string{
+		"error": fmt.Sprintf(format, args...),
+		"code":  code,
+	})
+}

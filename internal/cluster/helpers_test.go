@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/aiger"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// fakeClock is the injected time source shared by a test's coordinator and
+// workers. It only moves when the test says so, which makes every lease
+// expiry and hedge decision a deliberate act of the test script.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1700000000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testCircuit returns a 16-bit carry-lookahead adder as ASCII AIGER bytes —
+// the same workload the service tests use (~17 iterations at testSpec).
+func testCircuit(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := aiger.Write(&buf, bench.CLA(16), "aag"); err != nil {
+		t.Fatalf("serializing test circuit: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func testSpec() service.JobSpec {
+	return service.JobSpec{
+		Metric:       "er",
+		Threshold:    0.05,
+		Seed:         3,
+		EvalPatterns: 1024,
+		Workers:      1,
+	}
+}
+
+// refRun computes the uninterrupted single-process answer: the bitwise
+// yardstick every cluster execution — killed, resumed, hedged or cached —
+// must reproduce exactly.
+func refRun(t *testing.T, spec service.JobSpec, circuit []byte) (core.Result, []byte) {
+	t.Helper()
+	if err := spec.Normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	opts, err := spec.Options()
+	if err != nil {
+		t.Fatalf("options: %v", err)
+	}
+	g, err := service.ParseCircuit(spec.Format, circuit)
+	if err != nil {
+		t.Fatalf("parse circuit: %v", err)
+	}
+	res := core.Run(g, opts)
+	var buf bytes.Buffer
+	if err := aiger.Write(&buf, res.Graph, "aag"); err != nil {
+		t.Fatalf("serializing reference: %v", err)
+	}
+	return res, buf.Bytes()
+}
+
+// newTestCoord builds a coordinator on a temp dir with the shared fake clock
+// and test-friendly timings; mutate tweaks the config before construction.
+func newTestCoord(t *testing.T, clk *fakeClock, mutate func(*CoordConfig)) *Coordinator {
+	t.Helper()
+	cfg := CoordConfig{
+		Dir:      t.TempDir(),
+		Now:      clk.Now,
+		LeaseTTL: 10 * time.Second,
+		Logf:     t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	co, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	return co
+}
+
+// finishAttempt plays a worker completing an attempt through the direct API:
+// the payload must parse as AAG, so tests hand back the circuit itself.
+func finishAttempt(t *testing.T, co *Coordinator, claim ClaimResponse, workerID string, aag []byte) {
+	t.Helper()
+	sum := ResultSummary{Iterations: 17, Applied: 9, Ands: 100, FinalError: 0.042, Reason: "threshold"}
+	if err := co.UploadResult(claim.JobID, workerID, claim.AttemptID, sum, aag); err != nil {
+		t.Fatalf("UploadResult(%s): %v", claim.JobID, err)
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/service"
+)
+
+// Wire types of the coordinator's worker-facing API. Everything is plain
+// JSON over the existing HTTP surface; circuit, checkpoint and result bodies
+// are raw bytes. Paths:
+//
+//	POST /cluster/register                  RegisterRequest  -> RegisterResponse
+//	POST /cluster/claim                     ClaimRequest     -> ClaimResponse | 204
+//	GET  /cluster/jobs/{id}/circuit                          -> circuit bytes
+//	GET  /cluster/jobs/{id}/checkpoint                       -> checkpoint bytes | 404
+//	POST /cluster/jobs/{id}/renew           AttemptRequest   -> 204 | 409
+//	PUT  /cluster/jobs/{id}/checkpoint?worker=&attempt=      -> 204 | 409 (body: checkpoint)
+//	PUT  /cluster/jobs/{id}/result?worker=&attempt=&...      -> 200 | 409 (body: result AAG)
+//	POST /cluster/jobs/{id}/fail            FailRequest      -> 204
+//
+// A 409 on renew/checkpoint/result means the lease is lost: another attempt
+// owns the job (or it reached a terminal state), and the worker must abandon
+// its session immediately. That 409 is the cross-machine form of ctx
+// cancellation — the worker's job context is cancelled the moment one
+// arrives.
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence: renew the
+// lease comfortably inside LeaseTTLMillis (the worker renews at TTL/3), and
+// poll claim no faster than PollMillis when idle.
+type RegisterResponse struct {
+	WorkerID       string `json:"worker_id"`
+	LeaseTTLMillis int64  `json:"lease_ttl_ms"`
+	PollMillis     int64  `json:"poll_ms"`
+}
+
+// ClaimRequest asks for work.
+type ClaimRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// ClaimResponse grants a lease on one job attempt.
+type ClaimResponse struct {
+	JobID     string          `json:"job_id"`
+	AttemptID string          `json:"attempt_id"`
+	Spec      service.JobSpec `json:"spec"`
+	// Hedge marks a straggler duplicate: another worker still holds a live
+	// lease on the same job, first finisher wins.
+	Hedge bool `json:"hedge,omitempty"`
+	// HasCheckpoint hints that GET .../checkpoint will likely succeed, so
+	// the worker should resume rather than rebuild.
+	HasCheckpoint bool `json:"has_checkpoint,omitempty"`
+}
+
+// AttemptRequest identifies a worker's attempt for renew.
+type AttemptRequest struct {
+	WorkerID  string `json:"worker_id"`
+	AttemptID string `json:"attempt_id"`
+}
+
+// FailRequest reports an attempt failure the worker itself detected (panic,
+// unparsable circuit, session error). Network-dead workers never send it —
+// their lease simply expires.
+type FailRequest struct {
+	WorkerID  string `json:"worker_id"`
+	AttemptID string `json:"attempt_id"`
+	Error     string `json:"error"`
+}
+
+// ResultSummary is the metadata side of a finished job, stored alongside the
+// result circuit in the CAS so a cache hit restores the full status a fresh
+// run would have reported.
+type ResultSummary struct {
+	Iterations int     `json:"iterations"`
+	Applied    int     `json:"applied"`
+	Ands       int     `json:"ands"`
+	FinalError float64 `json:"final_error"`
+	Reason     string  `json:"reason"`
+}
+
+// encodeResult packs summary JSON + result AAG bytes into one CAS payload:
+// u32 summary length, summary, circuit.
+func encodeResult(sum ResultSummary, aag []byte) ([]byte, error) {
+	sj, err := json.Marshal(sum)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding result summary: %w", err)
+	}
+	out := binary.LittleEndian.AppendUint32(nil, uint32(len(sj)))
+	out = append(out, sj...)
+	return append(out, aag...), nil
+}
+
+// decodeResult splits a CAS result payload back into summary and AAG bytes.
+func decodeResult(payload []byte) (ResultSummary, []byte, error) {
+	var sum ResultSummary
+	if len(payload) < 4 {
+		return sum, nil, fmt.Errorf("cluster: result payload too short")
+	}
+	n := binary.LittleEndian.Uint32(payload)
+	rest := payload[4:]
+	if uint32(len(rest)) < n {
+		return sum, nil, fmt.Errorf("cluster: result summary length %d exceeds payload", n)
+	}
+	if err := json.Unmarshal(rest[:n], &sum); err != nil {
+		return sum, nil, fmt.Errorf("cluster: decoding result summary: %w", err)
+	}
+	return sum, rest[n:], nil
+}
+
+// JobStatus is the coordinator's externally visible job snapshot. It mirrors
+// the single-process service.JobStatus fields clients already parse, plus
+// the cluster-only dimensions.
+type JobStatus struct {
+	ID           string          `json:"id"`
+	Spec         service.JobSpec `json:"spec"`
+	State        service.State   `json:"state"`
+	Error        string          `json:"error,omitempty"`
+	Key          string          `json:"key"`
+	CacheHit     bool            `json:"cache_hit,omitempty"`
+	Worker       string          `json:"worker,omitempty"`
+	Hedged       bool            `json:"hedged,omitempty"`
+	Redispatches int             `json:"redispatches,omitempty"`
+	Iterations   int             `json:"iterations,omitempty"`
+	Applied      int             `json:"applied,omitempty"`
+	Ands         int             `json:"ands,omitempty"`
+	FinalError   float64         `json:"final_error,omitempty"`
+	Reason       string          `json:"reason,omitempty"`
+}

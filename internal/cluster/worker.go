@@ -1,0 +1,458 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/aiger"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// WorkerConfig tunes a cluster worker.
+type WorkerConfig struct {
+	// Join is the coordinator's base URL (e.g. "http://host:8080").
+	Join string
+	// Name labels the worker in coordinator logs.
+	Name string
+	// Client issues the worker's HTTP requests; tests route it through a
+	// faultfs.NetInjector. Nil means http.DefaultClient.
+	Client *http.Client
+	// Now supplies wall-clock time (injected — determinism rule). Required.
+	Now func() time.Time
+	// Sleep waits ctx-aware between polls and retries. Nil installs a
+	// timer-based default; tests inject a no-op to run the loop flat out.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// CheckpointEvery uploads a checkpoint every N committed iterations
+	// (default 25). Smaller values shrink the recompute window after a kill
+	// at the cost of upload traffic.
+	CheckpointEvery int
+	// PollInterval overrides the coordinator-advertised idle-claim cadence.
+	PollInterval time.Duration
+	// Logf receives operational log lines; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Worker is a thin claim-execute loop around core.Session: register, claim,
+// resume-or-build, step with lease renewals and checkpoint uploads, upload
+// the result, repeat. All cluster smarts (leases, hedging, quarantine,
+// caching) live coordinator-side; the worker only has to execute
+// deterministically and keep its lease renewed — exactly the properties the
+// single-process daemon already guarantees.
+type Worker struct {
+	cfg  WorkerConfig
+	id   string
+	ttl  time.Duration
+	poll time.Duration
+}
+
+// errLeaseLost is the worker-side marker for an HTTP 409: ownership gone,
+// abandon the session immediately.
+var errLeaseLost = errors.New("cluster: coordinator revoked the lease")
+
+// NewWorker validates cfg and prepares a worker (Run does the registering).
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Join == "" {
+		return nil, errors.New("cluster: WorkerConfig.Join is required")
+	}
+	if cfg.Now == nil {
+		return nil, errors.New("cluster: WorkerConfig.Now is required")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = sleepCtx
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 25
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// sleepCtx is the production Sleep: a timer raced against ctx.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (wk *Worker) logf(format string, args ...any) {
+	if wk.cfg.Logf != nil {
+		wk.cfg.Logf(format, args...)
+	}
+}
+
+// Run registers with the coordinator and executes claimed jobs until ctx is
+// cancelled. Transient coordinator unavailability is retried under capped
+// backoff; Run only returns on ctx cancellation.
+func (wk *Worker) Run(ctx context.Context) error {
+	if err := wk.register(ctx); err != nil {
+		return err
+	}
+	wk.logf("worker %s: joined %s (lease ttl %v, poll %v)", wk.id, wk.cfg.Join, wk.ttl, wk.poll)
+	idleAttempt := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		claim, ok, err := wk.claim(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, errReregister) {
+				// Coordinator restarted and forgot us: join again.
+				if rerr := wk.register(ctx); rerr != nil {
+					return rerr
+				}
+				continue
+			}
+			idleAttempt++
+			wk.logf("worker %s: claim failed (%v), backing off", wk.id, err)
+			if serr := wk.cfg.Sleep(ctx, service.Backoff("cluster/claim/"+wk.id, idleAttempt, wk.poll, 8*wk.poll)); serr != nil {
+				return serr
+			}
+			continue
+		}
+		if !ok {
+			idleAttempt = 0
+			if serr := wk.cfg.Sleep(ctx, wk.poll); serr != nil {
+				return serr
+			}
+			continue
+		}
+		idleAttempt = 0
+		wk.runAttempt(ctx, claim)
+	}
+}
+
+// register joins the coordinator, retrying under backoff until ctx dies.
+func (wk *Worker) register(ctx context.Context) error {
+	for attempt := 1; ; attempt++ {
+		var resp RegisterResponse
+		status, err := wk.doJSON(ctx, http.MethodPost, "/cluster/register", RegisterRequest{Name: wk.cfg.Name}, &resp)
+		if err == nil && status == http.StatusOK {
+			wk.id = resp.WorkerID
+			wk.ttl = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+			wk.poll = time.Duration(resp.PollMillis) * time.Millisecond
+			if wk.cfg.PollInterval > 0 {
+				wk.poll = wk.cfg.PollInterval
+			}
+			if wk.poll <= 0 {
+				wk.poll = 500 * time.Millisecond
+			}
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		wk.logf("worker: register failed (status %d, err %v), retrying", status, err)
+		if serr := wk.cfg.Sleep(ctx, service.Backoff("cluster/register", attempt, 100*time.Millisecond, 5*time.Second)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// errReregister reports a 410 from claim: this worker id is unknown (the
+// coordinator restarted) and a fresh registration is needed.
+var errReregister = errors.New("cluster: worker unknown to coordinator")
+
+func (wk *Worker) claim(ctx context.Context) (ClaimResponse, bool, error) {
+	var resp ClaimResponse
+	status, err := wk.doJSON(ctx, http.MethodPost, "/cluster/claim", ClaimRequest{WorkerID: wk.id}, &resp)
+	if err != nil {
+		return ClaimResponse{}, false, err
+	}
+	switch status {
+	case http.StatusOK:
+		return resp, true, nil
+	case http.StatusNoContent:
+		return ClaimResponse{}, false, nil
+	case http.StatusGone:
+		return ClaimResponse{}, false, errReregister
+	}
+	return ClaimResponse{}, false, fmt.Errorf("cluster: claim returned status %d", status)
+}
+
+// runAttempt executes one leased attempt end to end. Failures the worker
+// itself detects are reported via /fail; lease loss (409 anywhere) abandons
+// the session silently — the coordinator has already moved on.
+func (wk *Worker) runAttempt(ctx context.Context, claim ClaimResponse) {
+	defer func() {
+		if r := recover(); r != nil {
+			wk.logf("worker %s: attempt %s panicked: %v", wk.id, claim.AttemptID, r)
+			_ = wk.fail(ctx, claim, fmt.Sprintf("worker panic: %v", r))
+		}
+	}()
+
+	sess, err := wk.buildSession(ctx, claim)
+	if err != nil {
+		if ctx.Err() == nil && !errors.Is(err, errLeaseLost) {
+			_ = wk.fail(ctx, claim, err.Error())
+		}
+		return
+	}
+	wk.logf("worker %s: job %s attempt %s starting at iteration %d (hedge=%t)",
+		wk.id, claim.JobID, claim.AttemptID, sess.Iterations(), claim.Hedge)
+
+	// jobCtx is cancelled the moment the coordinator revokes the lease: the
+	// 409 is the cluster's form of ctx cancellation, and wiring it into the
+	// session ctx makes a revoked worker stop mid-flow like any other
+	// cancellation the core already handles.
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	lastRenew := wk.cfg.Now()
+	countdown := wk.cfg.CheckpointEvery
+	for {
+		ev, err := sess.Step(jobCtx)
+		if err != nil {
+			if ctx.Err() != nil {
+				// Graceful shutdown: park a final checkpoint so the next
+				// owner resumes instead of recomputing. The upload must
+				// outlive the dying ctx (which would fail it instantly), so
+				// it runs on a detached, bounded context.
+				shutCtx, done := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+				_ = wk.uploadCheckpoint(shutCtx, claim, sess)
+				done()
+			}
+			return
+		}
+		if ev.Done {
+			wk.uploadResult(ctx, claim, sess)
+			return
+		}
+		countdown--
+		if countdown <= 0 {
+			countdown = wk.cfg.CheckpointEvery
+			if err := wk.uploadCheckpoint(jobCtx, claim, sess); err != nil {
+				if errors.Is(err, errLeaseLost) {
+					cancel()
+					wk.logf("worker %s: job %s attempt %s: lease lost at checkpoint, abandoning", wk.id, claim.JobID, claim.AttemptID)
+					return
+				}
+				wk.logf("worker %s: job %s: checkpoint upload failed: %v", wk.id, claim.JobID, err)
+			}
+			lastRenew = wk.cfg.Now() // checkpoint upload renews
+			continue
+		}
+		if now := wk.cfg.Now(); wk.ttl > 0 && now.Sub(lastRenew) >= wk.ttl/3 {
+			if err := wk.renew(jobCtx, claim); err != nil {
+				if errors.Is(err, errLeaseLost) {
+					cancel()
+					wk.logf("worker %s: job %s attempt %s: lease lost at renew, abandoning", wk.id, claim.JobID, claim.AttemptID)
+					return
+				}
+				// Transient coordinator trouble: keep stepping; the next
+				// renew or upload settles ownership one way or the other.
+				wk.logf("worker %s: job %s: renew failed: %v", wk.id, claim.JobID, err)
+			}
+			lastRenew = now
+		}
+	}
+}
+
+// buildSession restores the claim from the coordinator's newest checkpoint
+// when one exists, falling back to a fresh build from the circuit — the same
+// restore-or-rebuild ladder the single-process daemon uses, stretched over
+// HTTP. Determinism makes every rung bitwise-equivalent.
+func (wk *Worker) buildSession(ctx context.Context, claim ClaimResponse) (*core.Session, error) {
+	if claim.HasCheckpoint {
+		ckpt, status, err := wk.get(ctx, "/cluster/jobs/"+claim.JobID+"/checkpoint")
+		if err == nil && status == http.StatusOK {
+			sess, rerr := service.RestoreSession(claim.Spec, ckpt)
+			if rerr == nil {
+				return sess, nil
+			}
+			wk.logf("worker %s: job %s: checkpoint unusable (%v), rebuilding from circuit", wk.id, claim.JobID, rerr)
+		}
+	}
+	circuit, status, err := wk.get(ctx, "/cluster/jobs/"+claim.JobID+"/circuit")
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetching circuit: %w", err)
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("cluster: fetching circuit: status %d", status)
+	}
+	return service.BuildSession(claim.Spec, circuit)
+}
+
+func (wk *Worker) renew(ctx context.Context, claim ClaimResponse) error {
+	status, err := wk.doJSON(ctx, http.MethodPost, "/cluster/jobs/"+claim.JobID+"/renew",
+		AttemptRequest{WorkerID: wk.id, AttemptID: claim.AttemptID}, nil)
+	return leaseStatus(status, err, "renew")
+}
+
+func (wk *Worker) uploadCheckpoint(ctx context.Context, claim ClaimResponse, sess *core.Session) error {
+	var buf bytes.Buffer
+	if err := sess.Snapshot(&buf); err != nil {
+		return fmt.Errorf("cluster: snapshotting session: %w", err)
+	}
+	status, err := wk.put(ctx, "/cluster/jobs/"+claim.JobID+"/checkpoint?"+wk.attemptQuery(claim), buf.Bytes())
+	return leaseStatus(status, err, "checkpoint upload")
+}
+
+// uploadResult publishes the finished session. A 409 is a won-by-the-other-
+// guy hedge race, not an error.
+func (wk *Worker) uploadResult(ctx context.Context, claim ClaimResponse, sess *core.Session) {
+	res := sess.Result()
+	var aag bytes.Buffer
+	if err := aiger.Write(&aag, res.Graph, "aag"); err != nil {
+		_ = wk.fail(ctx, claim, fmt.Sprintf("encoding result: %v", err))
+		return
+	}
+	sum := ResultSummary{
+		Iterations: res.Iterations,
+		Applied:    res.Applied,
+		Ands:       res.Graph.NumAnds(),
+		FinalError: res.FinalError,
+		Reason:     sess.Reason(),
+	}
+	sj, err := json.Marshal(sum)
+	if err != nil {
+		_ = wk.fail(ctx, claim, fmt.Sprintf("encoding summary: %v", err))
+		return
+	}
+	path := "/cluster/jobs/" + claim.JobID + "/result?" + wk.attemptQuery(claim) +
+		"&summary=" + url.QueryEscape(string(sj))
+	status, err := wk.put(ctx, path, aag.Bytes())
+	switch {
+	case err != nil:
+		wk.logf("worker %s: job %s: result upload failed: %v", wk.id, claim.JobID, err)
+	case status == http.StatusConflict:
+		wk.logf("worker %s: job %s attempt %s: lost the finish race", wk.id, claim.JobID, claim.AttemptID)
+	case status >= 300:
+		wk.logf("worker %s: job %s: result upload returned status %d", wk.id, claim.JobID, status)
+	default:
+		wk.logf("worker %s: job %s done (%d iterations, error %.6g)", wk.id, claim.JobID, sum.Iterations, sum.FinalError)
+	}
+}
+
+func (wk *Worker) fail(ctx context.Context, claim ClaimResponse, msg string) error {
+	_, err := wk.doJSON(ctx, http.MethodPost, "/cluster/jobs/"+claim.JobID+"/fail",
+		FailRequest{WorkerID: wk.id, AttemptID: claim.AttemptID, Error: msg}, nil)
+	return err
+}
+
+func (wk *Worker) attemptQuery(claim ClaimResponse) string {
+	return "worker=" + url.QueryEscape(wk.id) + "&attempt=" + url.QueryEscape(claim.AttemptID)
+}
+
+// leaseStatus folds (status, err) into the lease protocol: 409 is
+// errLeaseLost, anything else non-2xx is a transient error.
+func leaseStatus(status int, err error, op string) error {
+	if err != nil {
+		return err
+	}
+	if status == http.StatusConflict {
+		return errLeaseLost
+	}
+	if status >= 300 {
+		return fmt.Errorf("cluster: %s returned status %d", op, status)
+	}
+	return nil
+}
+
+// --- HTTP plumbing ---------------------------------------------------------
+
+// workerHTTPRetries bounds retries of one logical call on *network* errors
+// (HTTP statuses are never retried here — the lease protocol gives every
+// status a meaning). All calls in the worker protocol are safe to repeat: a
+// duplicated claim leaves an extra lease that simply expires, and uploads
+// are idempotent by content.
+const workerHTTPRetries = 4
+
+func (wk *Worker) doRetry(ctx context.Context, key string, call func() (int, error)) (int, error) {
+	var status int
+	var err error
+	for attempt := 1; ; attempt++ {
+		status, err = call()
+		if err == nil || ctx.Err() != nil || attempt >= workerHTTPRetries {
+			return status, err
+		}
+		if serr := wk.cfg.Sleep(ctx, service.Backoff(key, attempt, 50*time.Millisecond, 2*time.Second)); serr != nil {
+			return status, err
+		}
+	}
+}
+
+func (wk *Worker) doJSON(ctx context.Context, method, path string, reqBody, respBody any) (int, error) {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: encoding request: %w", err)
+	}
+	return wk.doRetry(ctx, "cluster/http/"+path, func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, method, wk.cfg.Join+path, bytes.NewReader(payload))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := wk.cfg.Client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		if err != nil {
+			return 0, err
+		}
+		if respBody != nil && resp.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(data, respBody); err != nil {
+				return 0, fmt.Errorf("cluster: decoding response: %w", err)
+			}
+		}
+		return resp.StatusCode, nil
+	})
+}
+
+func (wk *Worker) get(ctx context.Context, path string) ([]byte, int, error) {
+	var body []byte
+	status, err := wk.doRetry(ctx, "cluster/http/"+path, func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, wk.cfg.Join+path, nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := wk.cfg.Client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		body, err = io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		if err != nil {
+			return 0, err
+		}
+		return resp.StatusCode, nil
+	})
+	return body, status, err
+}
+
+func (wk *Worker) put(ctx context.Context, path string, body []byte) (int, error) {
+	return wk.doRetry(ctx, "cluster/http/"+path, func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, wk.cfg.Join+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.ContentLength = int64(len(body))
+		resp, err := wk.cfg.Client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+		return resp.StatusCode, nil
+	})
+}

@@ -1,0 +1,46 @@
+package faultfs
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// WriteAtomic persists data at path with the temp+fsync+rename+dirsync
+// discipline: a reader either sees the complete previous content or the
+// complete new content, never a torn intermediate, even across a crash at
+// any step. This is the single-attempt primitive; callers that want
+// transient-errno retries (the service store does) wrap it in their own
+// retrier. On failure the temp file is removed on a best-effort basis — a
+// crash between create and rename can still strand one, which is why every
+// store sweeps its temp pattern on startup.
+func WriteAtomic(fsys FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("create temp in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(fmt.Errorf("write %s: %w", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("close %s: %w", tmp, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("rename %s -> %s: %w", tmp, path, err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package faultfs
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+
+	if err := WriteAtomic(OS{}, path, []byte("v1")); err != nil {
+		t.Fatalf("WriteAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+
+	// Overwrite is atomic: the new content replaces the old wholesale.
+	if err := WriteAtomic(OS{}, path, []byte("v2 longer")); err != nil {
+		t.Fatalf("WriteAtomic overwrite: %v", err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2 longer" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+func TestWriteAtomicTornWriteLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if err := WriteAtomic(OS{}, path, []byte("old")); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+
+	inj := NewInjector(OS{}, Fault{Op: OpWrite, PathSubstr: ".tmp-", N: 1, TornBytes: 2, Err: syscall.EIO})
+	err := WriteAtomic(inj, path, []byte("newcontent"))
+	if err == nil {
+		t.Fatalf("torn write reported success")
+	}
+	if !strings.Contains(err.Error(), "write") {
+		t.Fatalf("error lacks operation context: %v", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "old" {
+		t.Fatalf("target after torn write: %q, %v (want old content intact)", got, rerr)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("temp residue left behind: %s", e.Name())
+		}
+	}
+}
+
+func TestWriteAtomicRenameFailureCleansTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	inj := NewInjector(OS{}, Fault{Op: OpRename, PathSubstr: "blob", N: 1, Err: syscall.EIO})
+	if err := WriteAtomic(inj, path, []byte("x")); err == nil {
+		t.Fatalf("rename fault reported success")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed rename")
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("residue after failed rename: %v", ents)
+	}
+}

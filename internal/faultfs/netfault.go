@@ -1,0 +1,170 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNetInjected is the default error of a network fault that names none.
+// It deliberately does not implement net.Error: the cluster client must
+// classify retryability by its own rules, not by type-asserting what only
+// real sockets produce.
+var ErrNetInjected = errors.New("faultfs: injected network fault")
+
+// NetFault is one entry of a network injection schedule, the HTTP analogue
+// of Fault: it fires on the N-th round trip (1-based) whose method matches
+// Method (empty matches all) and whose URL path contains PathSubstr (empty
+// matches everything), then disarms. Exactly one of the effect fields
+// should be set.
+type NetFault struct {
+	Method     string
+	PathSubstr string
+	N          int
+
+	// Drop fails the round trip before any bytes reach the server — a
+	// connection refused / reset, the request may or may not have been
+	// processed from the client's perspective (it was not).
+	Drop bool
+	// Err is the error a Drop surfaces; nil means ErrNetInjected.
+	Err error
+	// Delay invokes the injector's sleep function with this duration before
+	// performing the round trip — a slow link, deterministic because the
+	// sleep is injected (tests pass a recording no-op).
+	Delay time.Duration
+	// Truncate performs the round trip but delivers only this many
+	// response-body bytes before surfacing io.ErrUnexpectedEOF — a
+	// connection cut mid-response. The request WAS processed server-side;
+	// only the reply is torn. Zero with Truncated=true cuts the body
+	// entirely.
+	Truncate  int
+	Truncated bool
+
+	seen int
+}
+
+// NetInjector is a deterministic fault-injecting http.RoundTripper: the
+// cluster chaos tests wrap a worker's HTTP client in one to simulate a
+// partitioned coordinator — dropped connections, delayed responses,
+// truncated replies — with the same schedule discipline as the filesystem
+// Injector: no clock reads, no randomness, the N-th matching call always
+// fires.
+type NetInjector struct {
+	base  http.RoundTripper
+	sleep func(time.Duration)
+
+	mu     sync.Mutex
+	faults []*NetFault
+	fired  []string
+}
+
+// NewNetInjector wraps base (nil means http.DefaultTransport) with the given
+// schedule. sleep services Delay faults; nil means delays are recorded but
+// not slept — the right default for tests, which assert on Fired() rather
+// than wall time.
+func NewNetInjector(base http.RoundTripper, sleep func(time.Duration), schedule ...NetFault) *NetInjector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if sleep == nil {
+		sleep = func(time.Duration) {}
+	}
+	ni := &NetInjector{base: base, sleep: sleep}
+	for _, f := range schedule {
+		c := f
+		c.seen = 0
+		ni.faults = append(ni.faults, &c)
+	}
+	return ni
+}
+
+// Fired returns the record of network faults that have fired, in firing
+// order.
+func (ni *NetInjector) Fired() []string {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	return append([]string(nil), ni.fired...)
+}
+
+// RoundTrip implements http.RoundTripper.
+func (ni *NetInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	fault := ni.match(req)
+	if fault == nil {
+		return ni.base.RoundTrip(req)
+	}
+	if fault.Drop {
+		return nil, fault.netErr()
+	}
+	if fault.Delay > 0 {
+		ni.sleep(fault.Delay)
+	}
+	resp, err := ni.base.RoundTrip(req)
+	if err != nil || (!fault.Truncated && fault.Truncate == 0) {
+		return resp, err
+	}
+	// Torn response: deliver a prefix of the real body, then a cut.
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr != nil {
+		return nil, fmt.Errorf("faultfs: truncating response: %w", readErr)
+	}
+	n := fault.Truncate
+	if n > len(body) {
+		n = len(body)
+	}
+	resp.Body = &tornBody{r: bytes.NewReader(body[:n])}
+	return resp, nil
+}
+
+func (ni *NetInjector) match(req *http.Request) *NetFault {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	for _, f := range ni.faults {
+		if f.N <= 0 {
+			continue
+		}
+		if f.Method != "" && f.Method != req.Method {
+			continue
+		}
+		if f.PathSubstr != "" && !strings.Contains(req.URL.Path, f.PathSubstr) {
+			continue
+		}
+		f.seen++
+		if f.seen != f.N {
+			continue
+		}
+		f.N = -1 // disarm
+		ni.fired = append(ni.fired, fmt.Sprintf("%s %s", req.Method, req.URL.Path))
+		return f
+	}
+	return nil
+}
+
+func (f *NetFault) netErr() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return ErrNetInjected
+}
+
+// tornBody yields its prefix then fails with io.ErrUnexpectedEOF — what a
+// net/http client body read reports when the connection dies before
+// Content-Length bytes arrive.
+type tornBody struct {
+	r io.Reader
+}
+
+func (t *tornBody) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *tornBody) Close() error { return nil }

@@ -1,0 +1,109 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func netTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "payload-0123456789")
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestNetInjectorDrop(t *testing.T) {
+	srv := netTestServer(t)
+	inj := NewNetInjector(nil, nil,
+		NetFault{Method: "GET", PathSubstr: "/claim", N: 2, Drop: true})
+	client := &http.Client{Transport: inj}
+
+	// First matching call passes through.
+	resp, err := client.Get(srv.URL + "/claim")
+	if err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	resp.Body.Close()
+	// Second matching call is dropped.
+	_, err = client.Get(srv.URL + "/claim")
+	if err == nil || !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("call 2: err = %v, want ErrNetInjected", err)
+	}
+	// Non-matching path is untouched.
+	resp, err = client.Get(srv.URL + "/other")
+	if err != nil {
+		t.Fatalf("non-matching call: %v", err)
+	}
+	resp.Body.Close()
+
+	fired := inj.Fired()
+	if len(fired) != 1 || !strings.Contains(fired[0], "/claim") {
+		t.Fatalf("Fired() = %v", fired)
+	}
+}
+
+func TestNetInjectorTruncate(t *testing.T) {
+	srv := netTestServer(t)
+	inj := NewNetInjector(nil, nil,
+		NetFault{PathSubstr: "/blob", N: 1, Truncate: 7, Truncated: true})
+	client := &http.Client{Transport: inj}
+
+	resp, err := client.Get(srv.URL + "/blob")
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("body read err = %v, want ErrUnexpectedEOF", err)
+	}
+	if string(body) != "payload" {
+		t.Fatalf("truncated body = %q, want the 7-byte prefix", body)
+	}
+}
+
+func TestNetInjectorDelayUsesInjectedSleep(t *testing.T) {
+	srv := netTestServer(t)
+	var slept []time.Duration
+	inj := NewNetInjector(nil, func(d time.Duration) { slept = append(slept, d) },
+		NetFault{PathSubstr: "/", N: 1, Delay: 42 * time.Millisecond})
+	client := &http.Client{Transport: inj}
+
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 || slept[0] != 42*time.Millisecond {
+		t.Fatalf("slept = %v, want [42ms]", slept)
+	}
+}
+
+func TestNetInjectorDeterministicSchedule(t *testing.T) {
+	// The same schedule over the same call sequence fires identically.
+	srv := netTestServer(t)
+	run := func() []string {
+		inj := NewNetInjector(nil, nil,
+			NetFault{PathSubstr: "/a", N: 2, Drop: true},
+			NetFault{PathSubstr: "/b", N: 1, Drop: true})
+		client := &http.Client{Transport: inj}
+		for _, p := range []string{"/a", "/b", "/a", "/a"} {
+			resp, err := client.Get(srv.URL + p)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}
+		return inj.Fired()
+	}
+	a, b := run(), run()
+	if len(a) != 2 || strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("schedules diverged: %v vs %v", a, b)
+	}
+}

@@ -91,6 +91,53 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed samples by
+// linear interpolation within the bucket containing the target rank — the
+// same estimate Prometheus's histogram_quantile computes server-side. The
+// cluster coordinator uses Quantile(0.95) of the job-duration histogram to
+// derive its hedge delay, so the estimate must be computable locally without
+// a scrape round trip. Samples landing in the +Inf bucket clamp to the
+// highest finite bound. Returns 0 when no samples have been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.samples == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.samples)
+	cum := uint64(0)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + c
+		if float64(next) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // LatencyBuckets is a default bucket layout for second-denominated
 // latencies, from 1ms to 10s.
 func LatencyBuckets() []float64 {

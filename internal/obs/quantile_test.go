@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test_seconds", "test", []float64{1, 2, 4, 8})
+
+	if got := h.Quantile(0.95); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+
+	// 10 samples in (1,2], so every rank lands in that bucket and the
+	// estimate interpolates linearly across it.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if got := h.Quantile(0.5); got != 1.5 {
+		t.Fatalf("Quantile(0.5) = %v, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("Quantile(1) = %v, want 2 (bucket upper bound)", got)
+	}
+
+	// Add 10 samples in (4,8]: p95 of 20 samples is rank 19, inside (4,8].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	got := h.Quantile(0.95)
+	want := 4 + (8-4)*(19.0-10.0)/10.0 // lower + span * (rank-cumBefore)/bucketCount
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Quantile(0.95) = %v, want %v", got, want)
+	}
+
+	// Samples beyond the last bound clamp to the highest finite bound.
+	h2 := r.Histogram("q_test_inf_seconds", "test", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf-bucket Quantile = %v, want clamp to 2", got)
+	}
+
+	// Quantile range is clamped.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Fatalf("Quantile(-1) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(2); got != h.Quantile(1) {
+		t.Fatalf("Quantile(2) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+	}
+}

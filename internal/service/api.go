@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/aiger"
 	"repro/internal/blif"
@@ -17,7 +18,23 @@ import (
 // so 64 MiB is generous while still stopping an accidental firehose.
 const maxCircuitBytes = 64 << 20
 
-// NewHandler exposes the manager over HTTP:
+// defaultEventWriteTimeout bounds a single NDJSON event write on the
+// /jobs/{id}/events stream. The server deliberately runs with no global
+// WriteTimeout (the stream is long-lived); this per-write deadline is what
+// keeps a stalled consumer from pinning the handler goroutine and its
+// subscription forever.
+const defaultEventWriteTimeout = 30 * time.Second
+
+// HandlerOptions tunes NewHandlerOpts.
+type HandlerOptions struct {
+	// EventWriteTimeout is the per-write deadline on the NDJSON event
+	// stream: a subscriber that does not drain one event within it is
+	// disconnected. Zero means defaultEventWriteTimeout; negative disables
+	// the deadline (tests of the legacy behavior only).
+	EventWriteTimeout time.Duration
+}
+
+// NewHandler exposes the manager over HTTP with default options:
 //
 //	POST   /jobs              submit (body = circuit; params in the query)
 //	GET    /jobs              list all jobs
@@ -28,11 +45,19 @@ const maxCircuitBytes = 64 << 20
 //	GET    /healthz           liveness
 //	GET    /metrics           Prometheus text exposition
 func NewHandler(m *Manager) http.Handler {
+	return NewHandlerOpts(m, HandlerOptions{})
+}
+
+// NewHandlerOpts is NewHandler with explicit options.
+func NewHandlerOpts(m *Manager, opts HandlerOptions) http.Handler {
+	if opts.EventWriteTimeout == 0 {
+		opts.EventWriteTimeout = defaultEventWriteTimeout
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(m, w, r) })
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) { handleList(m, w, r) })
 	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleStatus(m, w, r) })
-	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) { handleEvents(m, w, r) })
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) { handleEvents(m, opts, w, r) })
 	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) { handleResult(m, w, r) })
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleCancel(m, w, r) })
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) { handleHealthz(m, w, r) })
@@ -61,8 +86,13 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	})
 }
 
-// specFromQuery builds a JobSpec from POST /jobs query parameters. Every
-// knob mirrors a cmd/alsrac flag.
+// SpecFromQuery builds a JobSpec from POST /jobs query parameters. Every
+// knob mirrors a cmd/alsrac flag. Exported because the cluster coordinator
+// accepts the same submission surface.
+func SpecFromQuery(r *http.Request) (JobSpec, error) {
+	return specFromQuery(r)
+}
+
 func specFromQuery(r *http.Request) (JobSpec, error) {
 	q := r.URL.Query()
 	spec := JobSpec{
@@ -212,7 +242,14 @@ func handleCancel(m *Manager, w http.ResponseWriter, r *http.Request) {
 // handleEvents streams the job's progress as NDJSON: one JSON object per
 // line, replaying the event log from ?from= (default 0) and then following
 // live until the job reaches a terminal state or the client disconnects.
-func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
+//
+// Slow-consumer hardening: every write is preceded by a per-write deadline
+// (via http.ResponseController, using the manager's injected clock) so a
+// client that stops reading is disconnected after EventWriteTimeout rather
+// than pinning this goroutine — and its event subscription — indefinitely.
+// Event loss for such a client is already the contract: publishLocked drops
+// events to full subscriber channels rather than wedging the publisher.
+func handleEvents(m *Manager, opts HandlerOptions, w http.ResponseWriter, r *http.Request) {
 	job, ok := m.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", "no such job")
@@ -231,8 +268,14 @@ func handleEvents(m *Manager, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	emit := func(ev Event) bool {
+		if opts.EventWriteTimeout > 0 && m.cfg.Now != nil {
+			// Best effort: a ResponseWriter without deadline support (plain
+			// recorders) degrades to the legacy unbounded write.
+			_ = rc.SetWriteDeadline(m.cfg.Now().Add(opts.EventWriteTimeout))
+		}
 		if err := enc.Encode(ev); err != nil {
 			return false
 		}

@@ -32,10 +32,14 @@ const (
 	StateQuarantined State = "quarantined"
 )
 
-// terminal reports whether no further transitions can happen.
-func (s State) terminal() bool {
+// Terminal reports whether no further transitions can happen. Exported for
+// the cluster coordinator, which shares the lifecycle vocabulary.
+func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled || s == StateQuarantined
 }
+
+// terminal is the historical unexported spelling.
+func (s State) terminal() bool { return s.Terminal() }
 
 // Event is one NDJSON progress record: a state transition, one session step,
 // or an operational note (checkpoint fallback, quarantine, captured panic).

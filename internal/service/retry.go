@@ -47,7 +47,9 @@ type retrier struct {
 
 // do runs f up to retryAttempts times. Non-transient errors (and success)
 // return immediately; the final transient error is returned as-is so the
-// caller's errno classification still works.
+// caller's errno classification still works. Every delay flows through the
+// injected sleep — there is no fallback to time.Sleep here, so a test that
+// injects a recording no-op observes the exact schedule Backoff pins.
 func (r *retrier) do(key string, f func() error) error {
 	err := f()
 	for attempt := 1; attempt < retryAttempts && err != nil && isTransientErrno(err); attempt++ {
@@ -62,14 +64,29 @@ func (r *retrier) do(key string, f func() error) error {
 	return err
 }
 
-// backoffDelay computes the capped exponential backoff with deterministic
-// jitter for one retry: the delay lies in [d/2, d] where d doubles per
-// attempt from retryBaseDelay up to retryMaxDelay, and the point inside the
-// window is fixed by hashing (key, attempt).
+// backoffDelay is the store retrier's schedule: Backoff at the package's
+// base and cap.
 func backoffDelay(key string, attempt int) time.Duration {
-	d := retryBaseDelay << (attempt - 1)
-	if d <= 0 || d > retryMaxDelay {
-		d = retryMaxDelay
+	return Backoff(key, attempt, retryBaseDelay, retryMaxDelay)
+}
+
+// Backoff computes the capped exponential backoff with deterministic jitter
+// for one retry: the delay lies in [d/2, d] where d doubles per attempt
+// (1-based) from base up to max, and the point inside the window is fixed by
+// hashing (key, attempt) — FNV-1a, no RNG, so concurrent callers with
+// distinct keys decorrelate while any single (key, attempt) pair always
+// waits the same duration. Exported for the cluster coordinator, which uses
+// the same schedule to pace job redispatch after a worker failure.
+func Backoff(key string, attempt int, base, max time.Duration) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := max
+	if attempt-1 < 63 {
+		d = base << (attempt - 1)
+	}
+	if d <= 0 || d > max {
+		d = max
 	}
 	h := fnv.New64a()
 	h.Write([]byte(key))

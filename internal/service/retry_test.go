@@ -1,0 +1,90 @@
+package service
+
+import (
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestBackoffPinnedSchedule pins the exact capped-backoff schedule: the
+// delays are pure functions of (key, attempt, base, cap), so any change to
+// the hash, the window arithmetic or the cap clamping shows up as a diff
+// against these golden values. A drift here silently changes when retries
+// land in production and breaks chaos-test determinism, which is why the
+// values are frozen rather than recomputed from the formula.
+func TestBackoffPinnedSchedule(t *testing.T) {
+	const (
+		base = 2 * time.Millisecond
+		cap  = 250 * time.Millisecond
+	)
+	cases := []struct {
+		key     string
+		attempt int
+		want    time.Duration
+	}{
+		{"jobs/j000001/state.json", 1, 1526060},
+		{"jobs/j000001/state.json", 2, 3523666},
+		{"jobs/j000001/state.json", 3, 7629408},
+		{"jobs/j000001/state.json", 4, 12154715},
+		{"jobs/j000001/state.json", 5, 24640539},
+		{"jobs/j000001/state.json", 6, 63061485},
+		{"jobs/j000001/state.json", 7, 118447297},
+		{"jobs/j000001/state.json", 8, 127306199},
+		{"cluster/redispatch/j000002", 1, 1331683},
+		{"cluster/redispatch/j000002", 2, 2034571},
+		{"cluster/redispatch/j000002", 3, 4953438},
+		{"cluster/redispatch/j000002", 4, 12881588},
+		{"cluster/redispatch/j000002", 5, 23555219},
+		{"cluster/redispatch/j000002", 6, 46395111},
+		{"cluster/redispatch/j000002", 7, 124772830},
+		{"cluster/redispatch/j000002", 8, 200177567},
+	}
+	for _, tc := range cases {
+		if got := Backoff(tc.key, tc.attempt, base, cap); got != tc.want {
+			t.Errorf("Backoff(%q, %d) = %v, want %v", tc.key, tc.attempt, got, tc.want)
+		}
+	}
+
+	for _, tc := range cases {
+		// Window invariant: delay in [d/2, d] for the capped doubled base.
+		d := base << (tc.attempt - 1)
+		if d > cap {
+			d = cap
+		}
+		got := Backoff(tc.key, tc.attempt, base, cap)
+		if got < d/2 || got > d {
+			t.Errorf("Backoff(%q, %d) = %v outside [%v, %v]", tc.key, tc.attempt, got, d/2, d)
+		}
+	}
+
+	// Degenerate attempts clamp instead of shifting out of range.
+	if got := Backoff("k", 0, base, cap); got != Backoff("k", 1, base, cap) {
+		t.Errorf("attempt 0 should clamp to attempt 1, got %v", got)
+	}
+	if got := Backoff("k", 200, base, cap); got < cap/2 || got > cap {
+		t.Errorf("huge attempt should land in the cap window, got %v", got)
+	}
+}
+
+// TestRetrierUsesInjectedSleepOnly asserts the whole delay schedule flows
+// through the injected sleep: a recording stub observes exactly the pinned
+// backoffDelay sequence, and nothing else waits.
+func TestRetrierUsesInjectedSleepOnly(t *testing.T) {
+	var slept []time.Duration
+	r := &retrier{sleep: func(d time.Duration) { slept = append(slept, d) }}
+	calls := 0
+	err := r.do("key", func() error {
+		calls++
+		if calls < 3 {
+			return syscall.EAGAIN
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("do: %v", err)
+	}
+	want := []time.Duration{backoffDelay("key", 1), backoffDelay("key", 2)}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+}

@@ -1,0 +1,38 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// BuildSession constructs a fresh synthesis session for a normalized spec
+// over the verbatim submitted circuit bytes. Exported for the cluster
+// worker, which executes coordinator-assigned jobs outside a Manager; the
+// daemon's own workers go through Manager.buildSession, which layers
+// checkpoint-generation fallback and metrics on top of the same two steps.
+func BuildSession(spec JobSpec, circuit []byte) (*core.Session, error) {
+	opts, err := spec.Options()
+	if err != nil {
+		return nil, err
+	}
+	g, err := ParseCircuit(spec.Format, circuit)
+	if err != nil {
+		return nil, fmt.Errorf("parsing circuit: %w", err)
+	}
+	return core.NewSession(g, opts), nil
+}
+
+// RestoreSession revives a session from checkpoint bytes under the spec's
+// options. core.ErrCorrupt means the blob is damaged (fall back to an older
+// generation or a fresh build — determinism makes the rerun converge to the
+// identical result); core.ErrMismatch means the checkpoint belongs to a
+// different configuration and no sibling generation can match either.
+func RestoreSession(spec JobSpec, checkpoint []byte) (*core.Session, error) {
+	opts, err := spec.Options()
+	if err != nil {
+		return nil, err
+	}
+	return core.Restore(bytes.NewReader(checkpoint), opts)
+}

@@ -65,42 +65,14 @@ func newStore(dir string, fsys faultfs.FS, retry *retrier) (*store, error) {
 func (st *store) jobDir(id string) string { return filepath.Join(st.dir, id) }
 
 // writeAtomic writes data to path via a temp file in the same directory,
-// fsyncs it, renames it into place and fsyncs the directory, retrying the
-// whole sequence on transient errnos. A failure leaves the target file
-// untouched (old version or absent) and no temp residue.
+// fsyncs it, renames it into place and fsyncs the directory (the shared
+// faultfs.WriteAtomic primitive), retrying the whole sequence on transient
+// errnos. A failure leaves the target file untouched (old version or absent)
+// and no temp residue.
 func (st *store) writeAtomic(path string, data []byte) error {
 	return st.retry.do(path, func() error {
-		return st.writeAtomicOnce(path, data)
+		return faultfs.WriteAtomic(st.fs, path, data)
 	})
-}
-
-func (st *store) writeAtomicOnce(path string, data []byte) error {
-	dir := filepath.Dir(path)
-	tmp, err := st.fs.CreateTemp(dir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	name := tmp.Name()
-	cleanup := func() { _ = st.fs.Remove(name) }
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		cleanup()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		cleanup()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		cleanup()
-		return err
-	}
-	if err := st.fs.Rename(name, path); err != nil {
-		cleanup()
-		return err
-	}
-	return st.fs.SyncDir(dir)
 }
 
 // createJob persists a new job's spec and circuit.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — run the core benchmarks (simulation, candidate generation,
-# candidate ranking, end-to-end flow, service job throughput) and record
-# ns/op, B/op and allocs/op as JSON. Usage: scripts/bench.sh [out.json];
+# candidate ranking, end-to-end flow, service job throughput, cluster
+# dispatch) and record ns/op, B/op and allocs/op as JSON. Usage: scripts/bench.sh [out.json];
 # BENCHTIME overrides the per-benchmark time (default 1s).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,6 +20,8 @@ go test -run '^$' -bench 'BenchmarkServiceThroughput$' \
     -benchmem -benchtime="$benchtime" ./internal/service | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkCertifyExhaustive$|BenchmarkCertifySAT$' \
     -benchmem -benchtime="$benchtime" ./internal/exact | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkClusterDispatch$' \
+    -benchmem -benchtime="$benchtime" ./internal/cluster | tee -a "$tmp"
 
 awk '
 /^Benchmark/ {

@@ -13,7 +13,7 @@ go build ./...
 go vet ./...
 go run ./cmd/alsraclint ./...
 go test ./...
-go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/window ./internal/errest ./internal/core ./internal/exact ./internal/exact/sat ./internal/obs ./internal/service ./internal/faultfs
+go test -race ./internal/wordops ./internal/sim ./internal/resub ./internal/window ./internal/errest ./internal/core ./internal/exact ./internal/exact/sat ./internal/obs ./internal/service ./internal/faultfs ./internal/cluster
 
 # Chaos gate: the seeded fault-injection matrix (torn writes, injected
 # errnos, crash points, worker panics, crash-loop quarantine) under the race
@@ -27,6 +27,11 @@ fi
 # graceful shutdown.
 scripts/smoke_daemon.sh
 
+# Cluster e2e smoke: coordinator + two workers, kill -9 the owning worker
+# after its first checkpoint, assert the survivor finishes bit-identically
+# to a single-process run, and that a duplicate submission is a cache hit.
+scripts/smoke_cluster.sh
+
 # Fuzz smoke: 10 seconds per target (go runs one -fuzz target at a time).
 FUZZTIME="${FUZZTIME:-10s}"
 go test -run='^$' -fuzz='^FuzzCoverScan$' -fuzztime="$FUZZTIME" ./internal/resub
@@ -35,3 +40,4 @@ go test -run='^$' -fuzz='^FuzzEspresso$' -fuzztime="$FUZZTIME" ./internal/espres
 go test -run='^$' -fuzz='^FuzzAIGERParse$' -fuzztime="$FUZZTIME" ./internal/aiger
 go test -run='^$' -fuzz='^FuzzBLIFParse$' -fuzztime="$FUZZTIME" ./internal/blif
 go test -run='^$' -fuzz='^FuzzMiterSAT$' -fuzztime="$FUZZTIME" ./internal/exact
+go test -run='^$' -fuzz='^FuzzCASFrame$' -fuzztime="$FUZZTIME" ./internal/cluster
